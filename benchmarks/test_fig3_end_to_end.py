@@ -1,0 +1,93 @@
+"""Figure 3: the end-to-end pipeline and its CFD output.
+
+The paper's Figure 3 is two things at once: the architecture diagram of the
+working end-to-end application, and a sample CFD output (airflow around the
+farm, wind velocity as color). This benchmark runs the assembled fabric
+through an eventful half-day -- a front passage that triggers the change
+detector, then a screen breach -- and regenerates the figure's artifacts:
+
+* every pipeline stage demonstrably executed (telemetry -> logs -> Laminar
+  alert -> pilot -> CFD -> twin -> robot);
+* the rasterized airflow slice (the PNG's data) written alongside a
+  legacy-VTK file of the final CFD solution.
+"""
+
+import os
+
+import numpy as np
+
+from repro.analysis import ComparisonTable
+from repro.cfd.postprocess import slice_raster, write_vtk_ascii
+from repro.core import FabricConfig, XGFabric, analyze_end_to_end
+from repro.sensors import BreachEvent
+from repro.sensors.weather import RegimeShift
+
+from benchmarks.conftest import run_once
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "_artifacts")
+
+
+def generate_figure3(seed: int = 3):
+    fabric = XGFabric(FabricConfig(seed=seed))
+    fabric.weather.add_shift(
+        RegimeShift(at_time_s=2 * 3600.0, wind_delta_mps=2.5,
+                    temperature_delta_k=-3.0)
+    )
+    fabric.breaches.add(
+        BreachEvent(panel_index=0, at_time_s=5 * 3600.0, cause="bird-strike")
+    )
+    metrics = fabric.run(10 * 3600.0)
+    return fabric, metrics
+
+
+def test_fig3_end_to_end_pipeline(benchmark):
+    fabric, metrics = run_once(benchmark, generate_figure3)
+
+    table = ComparisonTable("Figure 3: end-to-end pipeline stage counts")
+    table.add("telemetry reports delivered", metrics.telemetry_sent)
+    table.add("mean CSPOT latency (ms)", metrics.mean_telemetry_latency_s * 1e3,
+              paper=101.0, unit="ms")
+    table.add("Laminar duty cycles", metrics.duty_cycles)
+    table.add("change alerts", metrics.change_alerts)
+    table.add("CFD simulations", len(metrics.cfd_runs))
+    table.add("breach suspicions", metrics.breach_suspicions)
+    table.add("robot missions", len(metrics.robot_reports))
+    table.add("breaches confirmed", metrics.confirmed_breaches)
+    table.print()
+
+    # Every stage of Fig. 3 must have executed.
+    assert metrics.telemetry_sent > 100
+    assert metrics.duty_cycles >= 10
+    assert metrics.change_alerts >= 1
+    assert len(metrics.cfd_runs) >= 1
+    assert metrics.confirmed_breaches >= 1
+
+    # The telemetry log at UCSB holds the parked data.
+    ext_log = fabric.ucsb.get_log("telemetry.cups-ext-0")
+    assert ext_log.last_seqno == metrics.telemetry_sent // 5
+
+    # Regenerate the figure's CFD output: a rasterized airflow slice plus
+    # a ParaView-readable VTK file of the final solution.
+    case = fabric.twin._case
+    assert case is not None
+    fields = case.build_solver().solve().fields
+    raster = slice_raster(fields, axis="z")
+    assert raster.shape == (case.mesh.nx, case.mesh.ny)
+    assert np.all(np.isfinite(raster)) and raster.max() > 0
+    # The screen house is visible in the raster: interior slower than the
+    # free stream around it.
+    interior = raster[5:9, 5:9].mean()
+    exterior = raster[0:2, :].mean()
+    assert interior < exterior
+
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    np.save(os.path.join(OUTPUT_DIR, "fig3_airflow_slice.npy"), raster)
+    vtk_path = write_vtk_ascii(
+        fields, os.path.join(OUTPUT_DIR, "fig3_cups_cfd.vtk"),
+        title="xGFabric CUPS airflow",
+    )
+    assert os.path.getsize(vtk_path) > 1000
+
+    # And the end-to-end report holds together.
+    report = analyze_end_to_end(fabric)
+    assert report.meets_real_time_requirement

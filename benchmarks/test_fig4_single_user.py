@@ -1,0 +1,102 @@
+"""Figure 4: single-user uplink throughput across devices.
+
+Regenerates the paper's sweep: for each network (4G FDD, 5G FDD, 5G TDD),
+each device type (laptop, Raspberry Pi, smartphone), and each bandwidth in
+that network's grid, run the iperf3 procedure (100 one-second samples) and
+report the mean throughput. Shape assertions encode the paper's findings:
+
+* 4G at 20 MHz: smartphone (43.8) >> laptop (10.4) >> RPi (2.2) Mbps;
+* 5G FDD at 20 MHz: smartphone (58.9) > RPi (52.4) > laptop (40.8), all
+  markedly better than 4G;
+* 5G TDD at 50 MHz: RPi (66.0) > laptop (58.3) >> smartphone (14.4);
+* throughput scales with bandwidth within each network.
+"""
+
+import os
+
+import numpy as np
+
+from repro.analysis import ComparisonTable, write_series_csv
+from repro.radio import NetworkDeployment
+from repro.radio.presets import BANDWIDTH_GRID_MHZ, PAPER_ANCHORS
+
+from benchmarks.conftest import run_once
+
+DEVICES = ("laptop", "raspberry-pi", "smartphone")
+N_SAMPLES = 100
+
+
+def generate_figure4(seed: int = 2025) -> dict[tuple[str, str, int], float]:
+    """The full Fig. 4 dataset: (network, device, MHz) -> mean Mbps."""
+    rng = np.random.default_rng(seed)
+    results: dict[tuple[str, str, int], float] = {}
+    for network, grid in BANDWIDTH_GRID_MHZ.items():
+        for device in DEVICES:
+            for bw in grid:
+                net = NetworkDeployment.build(network, bw)
+                ue = net.add_ue(device)
+                res = net.measure_uplink([ue], rng, n_samples=N_SAMPLES)
+                results[(network, device, bw)] = res[ue.ue_id].mean_mbps
+    return results
+
+
+def test_fig4_single_user_uplink(benchmark):
+    results = run_once(benchmark, generate_figure4)
+
+    table = ComparisonTable("Figure 4: single-user uplink throughput (Mbps)")
+    for (fig, network, device, bw), paper in sorted(PAPER_ANCHORS.items()):
+        if fig != "fig4":
+            continue
+        key = (network.replace("4g", "4g").replace("5g", "5g"), device, bw)
+        measured = results[(network, device, bw)]
+        table.add(f"{network} {device} @{bw}MHz", measured, paper=paper, unit="Mbps")
+    table.print()
+
+    # Full series (the figure's x-axes), for the record.
+    series = ComparisonTable("Figure 4: full bandwidth series (Mbps)")
+    for (network, device, bw), mbps in sorted(results.items()):
+        series.add(f"{network} {device} @{bw}MHz", mbps, unit="Mbps")
+    series.print()
+
+    # -- shape assertions -----------------------------------------------------
+    # 4G device ordering and ratios at 20 MHz.
+    phone4g = results[("4g-fdd", "smartphone", 20)]
+    laptop4g = results[("4g-fdd", "laptop", 20)]
+    rpi4g = results[("4g-fdd", "raspberry-pi", 20)]
+    assert phone4g > laptop4g > rpi4g
+    assert phone4g / laptop4g > 3 and laptop4g / rpi4g > 3
+
+    # 5G FDD ordering at 20 MHz; everything improves over 4G.
+    phone5g = results[("5g-fdd", "smartphone", 20)]
+    rpi5g = results[("5g-fdd", "raspberry-pi", 20)]
+    laptop5g = results[("5g-fdd", "laptop", 20)]
+    assert phone5g > rpi5g > laptop5g
+    assert rpi5g > 10 * rpi4g  # the RPi's dramatic 4G->5G jump
+
+    # 5G TDD at 50 MHz: RPi wins, phone crippled.
+    rpi_tdd = results[("5g-tdd", "raspberry-pi", 50)]
+    laptop_tdd = results[("5g-tdd", "laptop", 50)]
+    phone_tdd = results[("5g-tdd", "smartphone", 50)]
+    assert rpi_tdd > laptop_tdd > phone_tdd
+    assert rpi_tdd / phone_tdd > 3
+
+    # Monotone bandwidth scaling for unconstrained devices.
+    for network, device in [("5g-fdd", "smartphone"), ("5g-tdd", "raspberry-pi")]:
+        grid = BANDWIDTH_GRID_MHZ[network]
+        means = [results[(network, device, bw)] for bw in grid]
+        assert means == sorted(means), f"{network}/{device} not monotone: {means}"
+
+    # Dump the figure's data series for external plotting.
+    artifacts = os.path.join(os.path.dirname(__file__), "_artifacts")
+    write_series_csv(
+        os.path.join(artifacts, "fig4_single_user.csv"),
+        ["network", "device", "bandwidth_mhz", "mean_mbps"],
+        [[n, d, bw, round(m, 3)] for (n, d, bw), m in sorted(results.items())],
+    )
+
+    # Quantitative closeness to every Fig. 4 anchor: within ~25 %.
+    anchored = ComparisonTable("check")
+    for (fig, network, device, bw), paper in PAPER_ANCHORS.items():
+        if fig == "fig4":
+            anchored.add("x", results[(network, device, bw)], paper=paper)
+    assert anchored.max_abs_log_ratio() < 0.25

@@ -1,0 +1,105 @@
+"""Figure 5: two-user simultaneous uplink throughput.
+
+Two UEs of the same device type run simultaneous saturating uplink tests
+at each bandwidth. Shape assertions encode the paper's findings:
+
+* 5G (FDD and TDD) shares fairly between the two users ("balanced
+  performance", "fair sharing");
+* 5G FDD aggregates scale with bandwidth up to 20 MHz;
+* 5G TDD aggregates peak around 40 MHz and *drop* at 50 MHz ("SDR
+  limitations");
+* 4G smartphones peak by 15 MHz and drop at 20 MHz ("SDR sampling
+  constraints");
+* the 4G laptop pair shows less even allocation than the 5G pairs
+  (proportional-fair capture under asymmetric channels).
+"""
+
+import numpy as np
+
+from repro.analysis import ComparisonTable
+from repro.radio import NetworkDeployment
+from repro.radio.presets import (
+    BANDWIDTH_GRID_MHZ,
+    LAPTOP_A_CHANNEL,
+    LAPTOP_B_CHANNEL,
+    PAPER_ANCHORS,
+)
+
+from benchmarks.conftest import run_once
+
+DEVICES = ("laptop", "raspberry-pi", "smartphone")
+N_SAMPLES = 100
+
+
+def generate_figure5(seed: int = 2025):
+    """(network, device, MHz) -> (per-UE mean Mbps tuple, aggregate Mbps)."""
+    rng = np.random.default_rng(seed)
+    results = {}
+    for network, grid in BANDWIDTH_GRID_MHZ.items():
+        for device in DEVICES:
+            for bw in grid:
+                net = NetworkDeployment.build(network, bw)
+                if network == "4g-fdd" and device == "laptop":
+                    # The testbed's two 4G laptops sit at asymmetric link
+                    # gains -- the "uneven user allocation" configuration.
+                    u1 = net.add_ue(device, channel=LAPTOP_A_CHANNEL)
+                    u2 = net.add_ue(device, channel=LAPTOP_B_CHANNEL)
+                else:
+                    u1, u2 = net.add_ue(device), net.add_ue(device)
+                res = net.measure_uplink([u1, u2], rng, n_samples=N_SAMPLES)
+                per_ue = (res[u1.ue_id].mean_mbps, res[u2.ue_id].mean_mbps)
+                results[(network, device, bw)] = (per_ue, sum(per_ue))
+    return results
+
+
+def test_fig5_two_user_uplink(benchmark):
+    results = run_once(benchmark, generate_figure5)
+
+    table = ComparisonTable("Figure 5: two-user aggregate uplink (Mbps)")
+    for (fig, network, device, bw), paper in sorted(PAPER_ANCHORS.items()):
+        if fig != "fig5":
+            continue
+        (_, aggregate) = results[(network, device, bw)]
+        table.add(f"{network} 2x{device} @{bw}MHz", aggregate, paper=paper, unit="Mbps")
+    table.print()
+
+    series = ComparisonTable("Figure 5: per-user split (Mbps)")
+    for (network, device, bw), ((m1, m2), agg) in sorted(results.items()):
+        series.add(f"{network} 2x{device} @{bw}MHz", agg, unit=f"({m1:.1f}+{m2:.1f})")
+    series.print()
+
+    # -- shape assertions -----------------------------------------------------
+    def split(network, device, bw):
+        return results[(network, device, bw)][0]
+
+    def agg(network, device, bw):
+        return results[(network, device, bw)][1]
+
+    # Fair sharing on 5G: per-UE means within 15 % of each other.
+    for network, bw in [("5g-fdd", 20), ("5g-tdd", 40)]:
+        for device in ("laptop", "raspberry-pi"):
+            m1, m2 = split(network, device, bw)
+            assert abs(m1 - m2) / max(m1, m2) < 0.15
+
+    # 5G FDD aggregate scales with bandwidth.
+    fdd_laptop = [agg("5g-fdd", "laptop", bw) for bw in (5, 10, 15, 20)]
+    assert fdd_laptop == sorted(fdd_laptop)
+
+    # 5G TDD: 50 MHz is WORSE than 40 MHz for the pair (SDR ceiling).
+    assert agg("5g-tdd", "laptop", 50) < agg("5g-tdd", "laptop", 40)
+    assert agg("5g-tdd", "raspberry-pi", 50) < agg("5g-tdd", "raspberry-pi", 40)
+
+    # 4G smartphones: drop at 20 MHz relative to 15 MHz.
+    assert agg("4g-fdd", "smartphone", 20) < agg("4g-fdd", "smartphone", 15)
+
+    # 4G laptop pair is less even than the 5G laptop pair.
+    def unevenness(network, bw):
+        m1, m2 = split(network, "laptop", bw)
+        return abs(m1 - m2) / max(m1, m2)
+
+    assert unevenness("4g-fdd", 10) > unevenness("5g-fdd", 20)
+
+    # Two-user aggregate lands near (at or below) the single-user figure:
+    # paper's RPi 5G FDD pair peaks at 45.4 vs 52.4 single-user.
+    rpi_pair = agg("5g-fdd", "raspberry-pi", 20)
+    assert 0.75 * 52.36 < rpi_pair < 1.15 * 52.36

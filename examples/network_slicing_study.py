@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Network slicing study: static profiles and dynamic IoT-tailored slicing.
+
+Part 1 reruns the paper's Figure 6 experiment: two Raspberry Pis on
+complementary PRB slices of a 40 MHz 5G TDD cell, swept across the nine
+profiles.
+
+Part 2 implements the paper's future-work direction -- "IoT-tailored
+slicing techniques as a way of optimizing remote network usage": a
+:class:`~repro.radio.slicing.SlicePolicy` rebalances slice shares toward
+offered load, and we measure how much less throughput the bursty telemetry
+slice sacrifices versus a static 50/50 split when a video-backhaul slice
+gets greedy.
+
+Usage::
+
+    python examples/network_slicing_study.py
+"""
+
+import numpy as np
+
+from repro.radio import NetworkDeployment, SliceConfig, SlicePolicy
+from repro.radio.presets import (
+    RPI1_CHANNEL,
+    RPI1_UNIT_CAP_BPS,
+    RPI2_CHANNEL,
+    RPI2_UNIT_CAP_BPS,
+)
+
+
+def part1_static_profiles() -> None:
+    print("== Figure 6 rerun: complementary PRB profiles on 40 MHz TDD ==")
+    print(f"{'profile':>9} {'RPi1 (Mbps)':>14} {'RPi2 (Mbps)':>14}")
+    rng = np.random.default_rng(6)
+    for pct in range(10, 100, 10):
+        cfg = SliceConfig.complementary_pair(pct / 100, "slice-rpi1", "slice-rpi2")
+        net = NetworkDeployment.build("5g-tdd", 40, slice_config=cfg)
+        r1 = net.add_ue("raspberry-pi", ue_id="rpi1", channel=RPI1_CHANNEL,
+                        unit_cap_bps=RPI1_UNIT_CAP_BPS, slice_name="slice-rpi1")
+        r2 = net.add_ue("raspberry-pi", ue_id="rpi2", channel=RPI2_CHANNEL,
+                        unit_cap_bps=RPI2_UNIT_CAP_BPS, slice_name="slice-rpi2")
+        res = net.measure_uplink([r1, r2], rng, n_samples=100)
+        print(f"{pct:3d}/{100 - pct:<3d}   "
+              f"{res['rpi1'].mean_mbps:7.2f} +/- {res['rpi1'].std_mbps:4.1f} "
+              f"{res['rpi2'].mean_mbps:9.2f} +/- {res['rpi2'].std_mbps:4.1f}")
+    print("(paper anchors: 4.95->34.73 for RPi1, 5.14->43.47 for RPi2)")
+
+
+def part2_dynamic_slicing() -> None:
+    print("\n== Future work: dynamic IoT-tailored slicing ==")
+    rng = np.random.default_rng(7)
+    policy = SlicePolicy(min_share=0.10, adaptation_rate=0.5)
+    config = SliceConfig.complementary_pair(0.5, "telemetry", "video")
+
+    # Offered load alternates: telemetry is light except during a burst
+    # (e.g. the robot uploading surveil footage through the IoT slice).
+    phases = [
+        ("idle", {"telemetry": 0.5e6, "video": 30e6}),
+        ("idle", {"telemetry": 0.5e6, "video": 30e6}),
+        ("burst", {"telemetry": 25e6, "video": 30e6}),
+        ("burst", {"telemetry": 25e6, "video": 30e6}),
+        ("idle", {"telemetry": 0.5e6, "video": 30e6}),
+    ]
+
+    static_cfg = SliceConfig.complementary_pair(0.5, "telemetry", "video")
+    print(f"{'phase':>6} {'telem share':>12} {'telem (Mbps)':>13} "
+          f"{'video (Mbps)':>13} {'video@static':>13}")
+    for label, load in phases:
+        config = policy.rebalance(config, load)
+        dyn = _throughput(config, rng)
+        static = _throughput(static_cfg, rng)
+        share = config.get("telemetry").prb_share
+        print(f"{label:>6} {share:12.2f} {dyn['telemetry']:13.2f} "
+              f"{dyn['video']:13.2f} {static['video']:13.2f}")
+    print("Idle phases shrink the telemetry slice, handing its PRBs to the "
+          "video backhaul (video column beats the static 50/50 split); "
+          "bursts grow it back.")
+
+
+def _throughput(config: SliceConfig, rng: np.random.Generator) -> dict[str, float]:
+    net = NetworkDeployment.build("5g-tdd", 40, slice_config=config)
+    ues = {
+        s.name: net.add_ue("raspberry-pi", ue_id=f"ue-{s.name}", slice_name=s.name)
+        for s in config
+    }
+    res = net.measure_uplink(list(ues.values()), rng, n_samples=30)
+    return {name: res[f"ue-{name}"].mean_mbps for name in ues}
+
+
+if __name__ == "__main__":
+    part1_static_profiles()
+    part2_dynamic_slicing()

@@ -1,0 +1,44 @@
+"""repro -- a full reproduction of the xGFabric system (SC Workshops '25).
+
+xGFabric couples remote sensor networks to HPC facilities through private 5G
+wireless networks for real-time digital agriculture. This package rebuilds
+the entire stack as a deterministic, laptop-scale simulation plus real
+numerics:
+
+* :mod:`repro.simkernel` -- discrete-event simulation engine.
+* :mod:`repro.radio` -- private 4G/5G network (PHY, MAC scheduling, slicing,
+  5G core, SIM provisioning, iperf3-style measurement).
+* :mod:`repro.cspot` -- CSPOT log-based distributed runtime (append-only
+  logs, handlers, retry/dedup, delay-tolerant transport, fault injection).
+* :mod:`repro.laminar` -- Laminar strongly-typed strict dataflow on CSPOT,
+  including the statistical change-detection program.
+* :mod:`repro.hpc` -- HPC cluster + batch scheduler simulation (ND CRC,
+  Anvil, Stampede3 site presets).
+* :mod:`repro.pilot` -- pilot-job system and the Pilot Controller decision
+  logic of the paper's Eqs (1)-(4).
+* :mod:`repro.cfd` -- screen-house CFD: a real 3D incompressible projection
+  solver with porous-screen boundaries plus a calibrated performance model.
+* :mod:`repro.sensors` -- synthetic weather, station models, breach events,
+  and the Farm-NG style surveil robot.
+* :mod:`repro.core` -- the xGFabric orchestration fabric and end-to-end
+  latency accounting.
+* :mod:`repro.analysis` -- sample statistics and figure/table assembly.
+
+See DESIGN.md for the per-experiment index and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "simkernel",
+    "radio",
+    "cspot",
+    "laminar",
+    "hpc",
+    "pilot",
+    "cfd",
+    "sensors",
+    "core",
+    "analysis",
+]

@@ -1,0 +1,15 @@
+"""Analysis utilities: sample statistics and paper-vs-measured reporting."""
+
+from repro.analysis.stats import SampleSummary, confidence_interval, summarize
+from repro.analysis.reporting import ComparisonRow, ComparisonTable
+from repro.analysis.export import read_series_csv, write_series_csv
+
+__all__ = [
+    "SampleSummary",
+    "summarize",
+    "confidence_interval",
+    "ComparisonRow",
+    "ComparisonTable",
+    "write_series_csv",
+    "read_series_csv",
+]

@@ -1,0 +1,50 @@
+"""Figure-data export.
+
+The paper's artifact ships raw iperf3 JSON plus CSVs that its plotting
+notebook turns into the figures; our benchmarks do the analogue with
+:func:`write_series_csv`, so anyone can regenerate the plots with their
+tool of choice (`benchmarks/_artifacts/*.csv` after a benchmark run).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Any, Sequence
+
+
+def write_series_csv(
+    path: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> str:
+    """Write one figure's data series as CSV; returns the path.
+
+    Validates that every row matches the header width -- a malformed
+    figure dump is worse than none.
+    """
+    if not header:
+        raise ValueError("empty header")
+    width = len(header)
+    for n, row in enumerate(rows):
+        if len(row) != width:
+            raise ValueError(
+                f"row {n} has {len(row)} fields, header has {width}"
+            )
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def read_series_csv(path: str) -> tuple[list[str], list[list[str]]]:
+    """Read back a series CSV (header, rows)."""
+    with open(path, newline="", encoding="utf-8") as fh:
+        reader = csv.reader(fh)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        return header, [row for row in reader]

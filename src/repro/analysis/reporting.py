@@ -1,0 +1,79 @@
+"""Paper-vs-measured comparison tables for the benchmark harness.
+
+Every benchmark regenerating a paper figure/table prints one of these so
+the reproduction record (EXPERIMENTS.md) can be read straight off the
+bench output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One measured quantity next to its paper anchor."""
+
+    label: str
+    measured: float
+    paper: Optional[float] = None
+    unit: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        if self.paper is None or self.paper == 0:
+            return None
+        return self.measured / self.paper
+
+    def format(self, label_width: int) -> str:
+        parts = [
+            f"{self.label:<{label_width}}",
+            f"{self.measured:10.2f}{(' ' + self.unit) if self.unit else '':<6}",
+        ]
+        if self.paper is not None:
+            parts.append(f"paper {self.paper:10.2f}")
+            ratio = self.ratio
+            if ratio is not None:
+                parts.append(f"ratio {ratio:5.2f}x")
+        return "  ".join(parts)
+
+
+class ComparisonTable:
+    """A titled list of comparison rows with a uniform text rendering."""
+
+    def __init__(self, title: str) -> None:
+        self.title = title
+        self.rows: list[ComparisonRow] = []
+
+    def add(
+        self,
+        label: str,
+        measured: float,
+        paper: Optional[float] = None,
+        unit: str = "",
+    ) -> ComparisonRow:
+        row = ComparisonRow(label=label, measured=measured, paper=paper, unit=unit)
+        self.rows.append(row)
+        return row
+
+    def render(self) -> str:
+        if not self.rows:
+            return f"== {self.title} ==\n(no rows)"
+        width = max(len(r.label) for r in self.rows)
+        lines = [f"== {self.title} =="]
+        lines += [r.format(width) for r in self.rows]
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console side effect
+        print("\n" + self.render())
+
+    def max_abs_log_ratio(self) -> float:
+        """Worst-case |log(measured/paper)| across anchored rows -- a
+        scale-free 'how far off are we' figure for shape assertions."""
+        import math
+
+        ratios = [r.ratio for r in self.rows if r.ratio is not None and r.ratio > 0]
+        if not ratios:
+            return 0.0
+        return max(abs(math.log(v)) for v in ratios)

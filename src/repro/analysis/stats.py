@@ -1,0 +1,57 @@
+"""Sample statistics for benchmark outputs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as sps
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Mean/SD/extremes of one measurement series."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        return self.std / np.sqrt(self.n) if self.n > 1 else float("nan")
+
+    def two_sigma_band(self) -> tuple[float, float]:
+        """The +/- 2 SD whiskers of the paper's Figure 7."""
+        return (self.mean - 2 * self.std, self.mean + 2 * self.std)
+
+
+def summarize(samples) -> SampleSummary:
+    """Summarize a 1-D series."""
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"need a non-empty 1-D series, got shape {arr.shape}")
+    return SampleSummary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+    )
+
+
+def confidence_interval(samples, level: float = 0.95) -> tuple[float, float]:
+    """Two-sided t-interval for the mean."""
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level out of (0,1): {level}")
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size < 2:
+        raise ValueError("need at least 2 samples for an interval")
+    mean = float(arr.mean())
+    sem = float(arr.std(ddof=1) / np.sqrt(arr.size))
+    if sem == 0.0:
+        return (mean, mean)
+    half = float(sps.t.ppf(0.5 + level / 2, df=arr.size - 1)) * sem
+    return (mean - half, mean + half)

@@ -1,0 +1,184 @@
+"""OpenFOAM-style case generation from telemetry.
+
+The pilot "gathers the most recent atmospheric telemetry from the CSPOT
+logs at UCSB and launches a preprocessing pipeline to generate input files
+and meshing coordinates for the CFD computation". :func:`case_from_telemetry`
+is that pipeline: it turns a telemetry snapshot (wind speed/direction,
+temperatures, humidity) into a :class:`CfdCase`, and :meth:`CfdCase.write`
+materializes an OpenFOAM-shaped case directory (``system/controlDict``,
+``system/blockMeshDict``, ``0/U`` ...) so downstream tooling sees familiar
+structure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cfd.boundary import BoundaryConditions, WindInlet, cups_screen_walls
+from repro.cfd.mesh import StructuredMesh, default_mesh
+from repro.cfd.solver import ProjectionSolver, SolverConfig
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """One atmospheric boundary observation (what the stations report)."""
+
+    wind_speed_mps: float
+    wind_direction_deg: float
+    exterior_temperature_k: float
+    interior_temperature_k: float
+    relative_humidity: float
+    timestamp_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.wind_speed_mps < 0:
+            raise ValueError("negative wind speed")
+        if not 0.0 <= self.relative_humidity <= 1.0:
+            raise ValueError(f"humidity out of [0,1]: {self.relative_humidity}")
+        for label, t in (
+            ("exterior", self.exterior_temperature_k),
+            ("interior", self.interior_temperature_k),
+        ):
+            if not 200.0 < t < 350.0:
+                raise ValueError(f"{label} temperature implausible: {t} K")
+
+
+@dataclass
+class CfdCase:
+    """A fully specified CFD case: mesh + BCs + numerics + provenance."""
+
+    name: str
+    mesh: StructuredMesh
+    bcs: BoundaryConditions
+    config: SolverConfig
+    telemetry: Optional[TelemetrySnapshot] = None
+
+    def build_solver(self) -> ProjectionSolver:
+        return ProjectionSolver(self.mesh, self.bcs, self.config)
+
+    def write(self, directory: str) -> str:
+        """Materialize an OpenFOAM-shaped case directory; returns its path."""
+        case_dir = os.path.join(directory, self.name)
+        for sub in ("system", "constant", "0"):
+            os.makedirs(os.path.join(case_dir, sub), exist_ok=True)
+        m, c = self.mesh, self.config
+        _write(case_dir, "system/controlDict", _foam_dict("controlDict", {
+            "application": "cupsFoam",
+            "startTime": 0,
+            "endTime": c.n_steps * c.dt,
+            "deltaT": c.dt,
+            "writeInterval": c.n_steps * c.dt,
+        }))
+        _write(case_dir, "system/blockMeshDict", _foam_dict("blockMeshDict", {
+            "convertToMeters": 1,
+            "cells": f"({m.nx} {m.ny} {m.nz})",
+            "domain": f"({m.lx} {m.ly} {m.lz})",
+        }))
+        _write(case_dir, "system/decomposeParDict", _foam_dict("decomposeParDict", {
+            "numberOfSubdomains": 64,
+            "method": "simple",
+            "simpleCoeffs": "{ n (64 1 1); }",
+        }))
+        inlet = self.bcs.inlet
+        cu, cv = inlet.components
+        _write(case_dir, "0/U", _foam_dict("U", {
+            "dimensions": "[0 1 -1 0 0 0 0]",
+            "internalField": "uniform (0 0 0)",
+            "inlet": f"uniform ({inlet.speed_mps * cu:.4f} {inlet.speed_mps * cv:.4f} 0)",
+        }))
+        _write(case_dir, "0/T", _foam_dict("T", {
+            "dimensions": "[0 0 0 1 0 0 0]",
+            "internalField": f"uniform {self.bcs.interior_temperature_k:.2f}",
+            "ground": f"uniform {self.bcs.ground_temperature_k:.2f}",
+        }))
+        manifest = {
+            "name": self.name,
+            "mesh": {"nx": m.nx, "ny": m.ny, "nz": m.nz,
+                     "lx": m.lx, "ly": m.ly, "lz": m.lz},
+            "screens": len(self.bcs.screens),
+            "breached_panels": [
+                i for i, s in enumerate(self.bcs.screens) if s.breached
+            ],
+            "telemetry": (
+                None if self.telemetry is None else {
+                    "wind_speed_mps": self.telemetry.wind_speed_mps,
+                    "wind_direction_deg": self.telemetry.wind_direction_deg,
+                    "exterior_temperature_k": self.telemetry.exterior_temperature_k,
+                    "interior_temperature_k": self.telemetry.interior_temperature_k,
+                    "relative_humidity": self.telemetry.relative_humidity,
+                    "timestamp_s": self.telemetry.timestamp_s,
+                }
+            ),
+        }
+        _write(case_dir, "case.json", json.dumps(manifest, indent=2))
+        return case_dir
+
+    def input_size_bytes(self) -> int:
+        """Approximate input-data volume, what the Pilot Controller's
+        Eq. (1) assesses ("assess incoming data size D")."""
+        # Boundary-condition fields dominate: 5 scalars over the mesh faces.
+        face_cells = 2 * (
+            self.mesh.nx * self.mesh.ny
+            + self.mesh.ny * self.mesh.nz
+            + self.mesh.nx * self.mesh.nz
+        )
+        return 8 * 5 * face_cells
+
+
+def case_from_telemetry(
+    telemetry: TelemetrySnapshot,
+    name: Optional[str] = None,
+    mesh: Optional[StructuredMesh] = None,
+    config: Optional[SolverConfig] = None,
+) -> CfdCase:
+    """The preprocessing pipeline: telemetry -> runnable case."""
+    m = mesh if mesh is not None else default_mesh()
+    inlet = WindInlet(
+        speed_mps=telemetry.wind_speed_mps,
+        direction_deg=telemetry.wind_direction_deg,
+        temperature_k=telemetry.exterior_temperature_k,
+    )
+    bcs = BoundaryConditions(
+        inlet=inlet,
+        screens=cups_screen_walls(m),
+        interior_temperature_k=telemetry.interior_temperature_k,
+        # Ground runs warm relative to air by an insolation-dependent
+        # offset; humidity damps it (evaporative cooling).
+        ground_temperature_k=(
+            telemetry.interior_temperature_k
+            + 3.0 * (1.0 - telemetry.relative_humidity)
+        ),
+    )
+    cfg = config if config is not None else SolverConfig()
+    return CfdCase(
+        name=name or f"cups_structure_{int(telemetry.timestamp_s)}",
+        mesh=m,
+        bcs=bcs,
+        config=cfg,
+        telemetry=telemetry,
+    )
+
+
+def _foam_dict(name: str, entries: dict) -> str:
+    lines = [
+        "FoamFile",
+        "{",
+        "    version     2.0;",
+        "    format      ascii;",
+        f"    object      {name};",
+        "}",
+        "",
+    ]
+    for key, value in entries.items():
+        lines.append(f"{key}    {value};")
+    return "\n".join(lines) + "\n"
+
+
+def _write(case_dir: str, rel_path: str, content: str) -> None:
+    path = os.path.join(case_dir, rel_path)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content)

@@ -1,0 +1,73 @@
+"""Flow field containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cfd.mesh import StructuredMesh
+
+
+@dataclass
+class FlowFields:
+    """Cell-centered flow state: velocity, pressure, temperature.
+
+    Arrays are C-ordered ``(nx, ny, nz)`` float64 -- contiguous along z,
+    which is the axis the vertical-diffusion stencils sweep (cache-friendly,
+    per the HPC guides).
+    """
+
+    mesh: StructuredMesh
+    u: np.ndarray = field(init=False)  # x-velocity (m/s)
+    v: np.ndarray = field(init=False)  # y-velocity
+    w: np.ndarray = field(init=False)  # z-velocity
+    p: np.ndarray = field(init=False)  # kinematic pressure (m^2/s^2)
+    temperature: np.ndarray = field(init=False)  # K
+
+    def __post_init__(self) -> None:
+        shape = self.mesh.shape
+        self.u = np.zeros(shape)
+        self.v = np.zeros(shape)
+        self.w = np.zeros(shape)
+        self.p = np.zeros(shape)
+        self.temperature = np.full(shape, 293.15)
+
+    def initialize_uniform(
+        self, u: float = 0.0, v: float = 0.0, w: float = 0.0,
+        temperature: float = 293.15,
+    ) -> "FlowFields":
+        self.u[:] = u
+        self.v[:] = v
+        self.w[:] = w
+        self.temperature[:] = temperature
+        return self
+
+    def speed(self) -> np.ndarray:
+        """Velocity magnitude |U| per cell."""
+        return np.sqrt(self.u**2 + self.v**2 + self.w**2)
+
+    def kinetic_energy(self) -> float:
+        """Total kinetic energy (per unit density), for convergence checks."""
+        return float(
+            0.5 * np.sum(self.u**2 + self.v**2 + self.w**2) * self.mesh.cell_volume
+        )
+
+    def copy(self) -> "FlowFields":
+        out = FlowFields(self.mesh)
+        out.u = self.u.copy()
+        out.v = self.v.copy()
+        out.w = self.w.copy()
+        out.p = self.p.copy()
+        out.temperature = self.temperature.copy()
+        return out
+
+    def allclose(self, other: "FlowFields", atol: float = 1e-10) -> bool:
+        """Field-wise comparison (used to verify decomposed == serial)."""
+        return (
+            np.allclose(self.u, other.u, atol=atol)
+            and np.allclose(self.v, other.v, atol=atol)
+            and np.allclose(self.w, other.w, atol=atol)
+            and np.allclose(self.p, other.p, atol=atol)
+            and np.allclose(self.temperature, other.temperature, atol=atol)
+        )

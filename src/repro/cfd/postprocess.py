@@ -1,0 +1,139 @@
+"""Post-processing: slice rasters, point probes, residuals, VTK output.
+
+Replaces the ParaView rendering stage: :func:`slice_raster` produces the 2-D
+wind-speed field behind Figure 3's PNG; :func:`write_vtk_ascii` emits a
+legacy-VTK structured-points file (readable by real ParaView, should anyone
+care to); :func:`residuals_against_measurements` computes the
+predicted-vs-measured differences the digital twin thresholds for breach
+detection.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.cfd.fields import FlowFields
+from repro.cfd.mesh import StructuredMesh
+
+
+def slice_raster(
+    fields: FlowFields, axis: str = "z", position_m: float | None = None
+) -> np.ndarray:
+    """A 2-D raster of |U| on a plane through the domain.
+
+    Default: the horizontal plane at canopy height (15 % of the domain
+    height, ~4.5 m in the default domain), the view Figure 3 shows -- but
+    never the ground cell layer, which the no-slip boundary zeroes.
+    """
+    mesh = fields.mesh
+    speed = fields.speed()
+    if axis == "z":
+        pos = (
+            position_m if position_m is not None
+            else max(0.15 * mesh.lz, 1.5 * mesh.dz)
+        )
+        _, _, k = mesh.locate(0.0, 0.0, min(pos, mesh.lz))
+        return speed[:, :, k].copy()
+    if axis == "y":
+        pos = position_m if position_m is not None else mesh.ly / 2
+        _, j, _ = mesh.locate(0.0, min(pos, mesh.ly), 0.0)
+        return speed[:, j, :].copy()
+    if axis == "x":
+        pos = position_m if position_m is not None else mesh.lx / 2
+        i, _, _ = mesh.locate(min(pos, mesh.lx), 0.0, 0.0)
+        return speed[i, :, :].copy()
+    raise ValueError(f"axis must be x, y or z, got {axis!r}")
+
+
+def probe_at_points(
+    fields: FlowFields, points_m: Sequence[tuple[float, float, float]]
+) -> np.ndarray:
+    """Sample |U| at sensor locations (nearest cell)."""
+    if not points_m:
+        raise ValueError("no probe points given")
+    speed = fields.speed()
+    out = np.empty(len(points_m))
+    for n, (x, y, z) in enumerate(points_m):
+        i, j, k = fields.mesh.locate(x, y, z)
+        out[n] = speed[i, j, k]
+    return out
+
+
+def residuals_against_measurements(
+    fields: FlowFields,
+    points_m: Sequence[tuple[float, float, float]],
+    measured_speed_mps: Sequence[float],
+) -> np.ndarray:
+    """measured - predicted |U| at the sensor points.
+
+    "Once the model is calibrated, a deviation between predicted and
+    measured airflow can portend a possible screen breach" -- the breach
+    detector thresholds these residuals.
+    """
+    measured = np.asarray(measured_speed_mps, dtype=np.float64)
+    if measured.shape != (len(points_m),):
+        raise ValueError(
+            f"{len(points_m)} points but {measured.shape} measurements"
+        )
+    predicted = probe_at_points(fields, points_m)
+    return measured - predicted
+
+
+#: Density ramp for ASCII rendering, dark -> bright.
+_ASCII_RAMP = " .:-=+*#%@"
+
+
+def render_ascii(raster: "np.ndarray", width: int = 56) -> str:
+    """Render a 2-D raster as terminal art (the poor operator's ParaView).
+
+    Rows are the raster's second axis (printed top-down), columns the
+    first; values are min-max normalized onto a 10-step density ramp.
+    Useful for eyeballing Figure 3's airflow slice in the examples without
+    a plotting stack.
+    """
+    import numpy as np
+
+    arr = np.asarray(raster, dtype=np.float64)
+    if arr.ndim != 2 or arr.size == 0:
+        raise ValueError(f"need a non-empty 2-D raster, got shape {arr.shape}")
+    if width < 2:
+        raise ValueError(f"width must be >= 2: {width}")
+    # Resample columns to the requested width (nearest neighbour).
+    nx = arr.shape[0]
+    cols = min(width, nx) if nx >= 2 else nx
+    col_idx = np.linspace(0, nx - 1, cols).round().astype(int)
+    sampled = arr[col_idx, :]
+    lo, hi = float(sampled.min()), float(sampled.max())
+    span = hi - lo if hi > lo else 1.0
+    levels = ((sampled - lo) / span * (len(_ASCII_RAMP) - 1)).round().astype(int)
+    lines = []
+    for j in reversed(range(sampled.shape[1])):
+        lines.append("".join(_ASCII_RAMP[levels[i, j]] for i in range(cols)))
+    lines.append(f"[min {lo:.2f}, max {hi:.2f}]")
+    return "\n".join(lines)
+
+
+def write_vtk_ascii(fields: FlowFields, path: str, title: str = "cups-cfd") -> str:
+    """Write |U| and T as a legacy-VTK STRUCTURED_POINTS file."""
+    mesh: StructuredMesh = fields.mesh
+    speed = fields.speed()
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write("# vtk DataFile Version 3.0\n")
+        fh.write(f"{title}\n")
+        fh.write("ASCII\n")
+        fh.write("DATASET STRUCTURED_POINTS\n")
+        fh.write(f"DIMENSIONS {mesh.nx} {mesh.ny} {mesh.nz}\n")
+        fh.write(f"ORIGIN {mesh.dx / 2} {mesh.dy / 2} {mesh.dz / 2}\n")
+        fh.write(f"SPACING {mesh.dx} {mesh.dy} {mesh.dz}\n")
+        fh.write(f"POINT_DATA {mesh.n_cells}\n")
+        for label, arr in (("speed", speed), ("temperature", fields.temperature)):
+            fh.write(f"SCALARS {label} double 1\n")
+            fh.write("LOOKUP_TABLE default\n")
+            # VTK wants x fastest: transpose to (z, y, x) then ravel C-order.
+            flat = np.ascontiguousarray(arr.transpose(2, 1, 0)).ravel()
+            np.savetxt(fh, flat, fmt="%.6e")
+    return path

@@ -1,0 +1,98 @@
+"""End-to-end performance accounting (section 4.4).
+
+The paper's headline numbers:
+
+* telemetry is available every 300 s and takes ~200 ms to move from the 5G
+  network at UNL to the head node at ND via UCSB (101 ms + 92 ms per
+  Table 1);
+* a dedicated 64-core machine sustains one simulation every ~7 minutes;
+* each simulation is therefore valid for at least ~23 minutes of the
+  30-minute duty cycle ("the 23 minutes remaining after the 7 minutes of
+  simulation completes");
+* batch queueing (zero to 24 hours) would break this, which is what the
+  pilot placeholder sidesteps.
+
+:func:`analyze_end_to_end` derives all of these from a fabric run plus the
+calibrated models, so the benchmark harness can print paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfd.perfmodel import CfdPerformanceModel
+from repro.core.fabric import FabricMetrics, XGFabric
+from repro.cspot.paths import TABLE1_ANCHORS
+
+
+@dataclass(frozen=True)
+class E2EReport:
+    """The section 4.4 quantities, measured."""
+
+    telemetry_interval_s: float
+    #: Measured UNL->UCSB CSPOT append latency (s), averaged over the run.
+    mean_telemetry_latency_s: float
+    #: Modeled UNL -> ND transfer (UNL->UCSB + UCSB->ND), seconds.
+    transfer_unl_to_nd_s: float
+    #: Sustained cadence on dedicated cores (s per simulation).
+    sustained_interval_s: float
+    #: Minimum validity window at the duty cycle (s).
+    min_validity_window_s: float
+    duty_cycle_s: float
+    cfd_runs: int
+    mean_queue_wait_s: float
+    max_queue_wait_s: float
+    change_alerts: int
+    duty_cycles: int
+
+    @property
+    def meets_real_time_requirement(self) -> bool:
+        """The paper's conclusion: the simulation result is valid for a
+        substantial fraction of the duty cycle."""
+        return self.min_validity_window_s >= 0.5 * self.duty_cycle_s
+
+    def rows(self) -> list[str]:
+        """Human-readable report lines."""
+        return [
+            f"telemetry interval          {self.telemetry_interval_s:8.0f} s",
+            f"mean CSPOT append (5G+Int.) {self.mean_telemetry_latency_s * 1e3:8.0f} ms",
+            f"UNL->ND transfer (modeled)  {self.transfer_unl_to_nd_s * 1e3:8.0f} ms",
+            f"sustained cadence (64 core) {self.sustained_interval_s / 60:8.1f} min",
+            f"min validity window         {self.min_validity_window_s / 60:8.1f} min",
+            f"CFD runs / alerts / cycles  {self.cfd_runs:4d} / {self.change_alerts} / {self.duty_cycles}",
+            f"queue wait mean / max       {self.mean_queue_wait_s:6.1f} / {self.max_queue_wait_s:.1f} s",
+        ]
+
+
+def analyze_end_to_end(
+    fabric: XGFabric, metrics: FabricMetrics | None = None
+) -> E2EReport:
+    """Compute the section 4.4 accounting for a completed fabric run."""
+    m = metrics if metrics is not None else fabric.metrics
+    cfg = fabric.config
+    perf: CfdPerformanceModel = fabric.perfmodel
+    transfer = (
+        TABLE1_ANCHORS["unl-ucsb-5g"][0] + TABLE1_ANCHORS["ucsb-nd-internet"][0]
+    ) / 1e3
+    sustained = perf.sustained_interval_s(cfg.cores_per_simulation)
+    if m.cfd_runs:
+        min_validity = min(r.validity_window_s for r in m.cfd_runs)
+        queue_waits = [r.queue_wait_s for r in m.cfd_runs]
+        mean_wait = sum(queue_waits) / len(queue_waits)
+        max_wait = max(queue_waits)
+    else:
+        min_validity = cfg.duty_cycle_s - sustained
+        mean_wait = max_wait = 0.0
+    return E2EReport(
+        telemetry_interval_s=cfg.telemetry_interval_s,
+        mean_telemetry_latency_s=m.mean_telemetry_latency_s,
+        transfer_unl_to_nd_s=transfer,
+        sustained_interval_s=sustained,
+        min_validity_window_s=min_validity,
+        duty_cycle_s=cfg.duty_cycle_s,
+        cfd_runs=len(m.cfd_runs),
+        mean_queue_wait_s=mean_wait,
+        max_queue_wait_s=max_wait,
+        change_alerts=m.change_alerts,
+        duty_cycles=m.duty_cycles,
+    )

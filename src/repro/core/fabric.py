@@ -1,0 +1,473 @@
+"""XGFabric: the end-to-end system.
+
+One :class:`XGFabric` instance owns the full Figure 3 pipeline on a single
+simulation engine. Telemetry flows as real bytes through CSPOT logs over
+the calibrated 5G+Internet paths; change detection is the Laminar program
+running on those logs; CFD triggers acquire nodes through the pilot layer
+on a batch-scheduled cluster; the digital twin compares a real (small-
+scale) CFD solution against measured interior conditions and dispatches
+the robot on suspicion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.cfd.case import CfdCase, TelemetrySnapshot, case_from_telemetry
+from repro.cfd.perfmodel import CfdPerformanceModel
+from repro.cfd.solver import ProjectionSolver
+from repro.core.config import FabricConfig
+from repro.core.digital_twin import DigitalTwin
+from repro.core.telemetry import TELEMETRY_ELEMENT_SIZE, TelemetryRecord
+from repro.cspot.node import CSPOTNode
+from repro.cspot.paths import testbed_paths
+from repro.cspot.transport import RemoteAppendClient, Transport
+from repro.hpc.site import HpcSite, QueueLoadGenerator
+from repro.hpc.sites import nd_crc
+from repro.laminar.change_detect import ChangeDetector, build_change_detection_graph
+from repro.laminar.runtime import LaminarRuntime
+from repro.pilot.controller import PilotController
+from repro.pilot.multisite import MultiSitePilotController
+from repro.pilot.task import Task
+from repro.radio.network import NetworkDeployment, PrivateCellularNetwork
+from repro.sensors.breach import BreachSchedule
+from repro.sensors.robot import FarmNgRobot, SurveilReport
+from repro.sensors.station import WeatherStation, station_grid
+from repro.sensors.weather import SyntheticWeather
+from repro.simkernel import Engine
+
+
+@dataclass
+class CfdRunRecord:
+    """Accounting for one triggered CFD execution (section 4.4)."""
+
+    trigger_time_s: float
+    queue_wait_s: float
+    execution_s: float
+    total_response_s: float
+    cores: int
+    validity_window_s: float
+    site: str = "nd-crc"
+
+
+@dataclass
+class FabricMetrics:
+    """Everything the evaluation section reads off a run."""
+
+    telemetry_sent: int = 0
+    telemetry_latencies_s: list[float] = field(default_factory=list)
+    telemetry_bytes: int = 0
+    duty_cycles: int = 0
+    change_alerts: int = 0
+    cfd_runs: list[CfdRunRecord] = field(default_factory=list)
+    breach_suspicions: int = 0
+    robot_reports: list[SurveilReport] = field(default_factory=list)
+    #: Latency from CFD completion to the operator's inbox at UNL (s).
+    operator_notification_latencies_s: list[float] = field(default_factory=list)
+    #: Surveil imagery shipped through the 5G uplink ("robot-based sensing").
+    robot_upload_bytes: int = 0
+
+    @property
+    def mean_telemetry_latency_s(self) -> float:
+        lat = self.telemetry_latencies_s
+        return sum(lat) / len(lat) if lat else 0.0
+
+    @property
+    def confirmed_breaches(self) -> int:
+        return sum(1 for r in self.robot_reports if r.breach_confirmed)
+
+
+class XGFabric:
+    """The assembled system.
+
+    Parameters
+    ----------
+    config:
+        Operating points (defaults = the paper's).
+    breaches:
+        Optional breach schedule (ground truth for the scenario).
+    site:
+        HPC site override; default a Notre Dame CRC preset.
+    """
+
+    def __init__(
+        self,
+        config: Optional[FabricConfig] = None,
+        breaches: Optional[BreachSchedule] = None,
+        site: Optional[HpcSite] = None,
+    ) -> None:
+        self.config = config if config is not None else FabricConfig()
+        cfg = self.config
+        self.engine = Engine(seed=cfg.seed)
+        self.metrics = FabricMetrics()
+        self.breaches = breaches if breaches is not None else BreachSchedule()
+
+        # -- physical world ---------------------------------------------------
+        self.weather = SyntheticWeather(self.engine.rng("sensors.weather"))
+        self.stations: list[WeatherStation] = station_grid(cfg.n_interior_stations)
+        self.exterior_station = next(s for s in self.stations if not s.interior)
+        self.robot = FarmNgRobot(self.engine)
+
+        # -- CSPOT topology (Fig. 3) --------------------------------------------
+        self.unl = CSPOTNode(self.engine, "unl")
+        self.ucsb = CSPOTNode(self.engine, "ucsb")
+        self.nd = CSPOTNode(self.engine, "nd")
+        self.transport = Transport(self.engine)
+        paths = testbed_paths()
+        self.transport.connect("unl", "ucsb", paths["unl-ucsb-5g"])
+        self.transport.connect("ucsb", "nd", paths["ucsb-nd-internet"])
+        for station in self.stations:
+            self.ucsb.create_log(
+                f"telemetry.{station.station_id}",
+                element_size=TELEMETRY_ELEMENT_SIZE,
+                history_size=4096,
+            )
+        self.ucsb.create_log("alerts", element_size=64, history_size=1024)
+        self.nd.create_log("cfd.results", element_size=256, history_size=1024)
+        # The return path: CFD summaries relayed ND -> UCSB -> UNL so "these
+        # results can be returned to the site operator to guide the
+        # application of water, pesticides, or to detect failures".
+        self.ucsb.create_log("cfd.summary", element_size=256, history_size=1024)
+        self.unl.create_log("operator.inbox", element_size=256, history_size=1024)
+        self._summary_appender = RemoteAppendClient(
+            self.transport, self.nd, self.ucsb, "cfd.summary"
+        )
+        self._operator_appender = RemoteAppendClient(
+            self.transport, self.ucsb, self.unl, "operator.inbox"
+        )
+        self._appenders = {
+            station.station_id: RemoteAppendClient(
+                self.transport, self.unl, self.ucsb,
+                f"telemetry.{station.station_id}",
+            )
+            for station in self.stations
+        }
+
+        # -- private 5G network (byte accounting + attach pipeline) -----------------
+        self.radio: Optional[PrivateCellularNetwork] = None
+        self._ue = None
+        if cfg.include_radio:
+            self.radio = NetworkDeployment.build(
+                "5g-tdd", cfg.radio_bandwidth_mhz, name="prod"
+            )
+            self._ue = self.radio.add_ue("raspberry-pi", ue_id="unl-gateway")
+
+        # -- change detection (Laminar on CSPOT) --------------------------------------
+        self.detector = ChangeDetector(
+            window_size=cfg.window_size,
+            alpha=cfg.alpha,
+            vote_threshold=cfg.vote_threshold,
+        )
+        self._laminar_graph = build_change_detection_graph(
+            alpha=cfg.alpha,
+            vote_threshold=cfg.vote_threshold,
+            test_host=cfg.test_host,
+            vote_host=cfg.vote_host,
+        )
+        self._laminar = LaminarRuntime(
+            self.engine,
+            self._laminar_graph,
+            hosts={"unl": self.unl, "ucsb": self.ucsb},
+            transport=self.transport,
+            default_host="ucsb",
+        )
+        self._epoch = 0
+
+        # -- HPC + pilots ----------------------------------------------------------------
+        self.site = site if site is not None else nd_crc(self.engine, cfg.hpc_nodes)
+        self.perfmodel = CfdPerformanceModel(
+            cores_per_node=self.site.cluster.cores_per_node
+        )
+        self.controller = PilotController(
+            self.engine,
+            self.site,
+            threshold_bytes=cfg.pilot_threshold_bytes,
+            task_runtime_estimate_s=self.perfmodel.total_time(
+                cfg.cores_per_simulation
+            ),
+            walltime_factor=cfg.pilot_walltime_factor,
+        )
+        self.multisite: Optional[MultiSitePilotController] = None
+        if cfg.multi_site:
+            from repro.hpc.sites import all_sites
+
+            sites = all_sites(self.engine)
+            sites["nd-crc"] = self.site  # keep the configured ND shape
+            self.multisite = MultiSitePilotController(
+                self.engine,
+                sites,
+                cores_per_task=cfg.cores_per_simulation,
+                threshold_bytes=cfg.pilot_threshold_bytes,
+                walltime_factor=cfg.pilot_walltime_factor,
+            )
+        if cfg.background_jobs_per_hour > 0:
+            self._bg_load = QueueLoadGenerator(
+                self.site, arrival_rate_per_hour=cfg.background_jobs_per_hour
+            )
+        else:
+            self._bg_load = None
+
+        # -- digital twin ------------------------------------------------------------------
+        self.twin = DigitalTwin(
+            self.stations,
+            residual_threshold_mps=cfg.residual_threshold_mps,
+            calibration_alpha=cfg.calibration_alpha,
+        )
+        self._cfd_busy = False
+        self._last_alert_seqno = 0
+        self._confirmed_panels: set[int] = set()
+
+    # -- the run ------------------------------------------------------------------
+
+    def run(self, duration_s: float) -> FabricMetrics:
+        """Run the whole pipeline for ``duration_s`` of simulated time."""
+        cfg = self.config
+        self.controller.bootstrap()  # the paper's initial single-node pilot
+        if self._bg_load is not None:
+            self._bg_load.start(duration_s)
+        self.engine.process(self._telemetry_loop(duration_s), name="telemetry-loop")
+        self.engine.process(self._duty_cycle_loop(duration_s), name="duty-cycle")
+        self.engine.process(
+            self._alert_poll_loop(duration_s), name="nd-alert-poller"
+        )
+        self.engine.run(until=duration_s)
+        return self.metrics
+
+    # -- processes --------------------------------------------------------------------
+
+    def _telemetry_loop(self, duration_s: float) -> Generator:
+        cfg = self.config
+        while self.engine.now + cfg.telemetry_interval_s <= duration_s:
+            yield self.engine.timeout(cfg.telemetry_interval_s)
+            readings = []
+            for station in self.stations:
+                reading = station.read(
+                    self.weather,
+                    self.engine.now,
+                    self.engine.rng("sensors.instruments"),
+                    breaches=self.breaches,
+                )
+                readings.append(reading)
+                payload = TelemetryRecord.from_reading(reading).to_bytes()
+                start = self.engine.now
+                yield self._appenders[station.station_id].append(payload)
+                self.metrics.telemetry_latencies_s.append(self.engine.now - start)
+                self.metrics.telemetry_sent += 1
+                self.metrics.telemetry_bytes += len(payload)
+                if self._ue is not None and self._ue.session is not None:
+                    self.radio.core.route_uplink(self._ue.session, len(payload))
+            # Twin comparison against the freshest interior measurements.
+            self._compare_twin(readings)
+
+    def _duty_cycle_loop(self, duration_s: float) -> Generator:
+        cfg = self.config
+        while self.engine.now + cfg.duty_cycle_s <= duration_s:
+            yield self.engine.timeout(cfg.duty_cycle_s)
+            self.metrics.duty_cycles += 1
+            series = self._exterior_wind_series()
+            if len(series) < cfg.readings_needed:
+                continue
+            current = np.asarray(series[-cfg.window_size:])
+            previous = np.asarray(
+                series[-cfg.readings_needed: -cfg.window_size]
+            )
+            epoch = self._epoch
+            self._epoch += 1
+            self._laminar.submit(epoch, {"current": current, "previous": previous})
+            yield self._laminar.epoch_done(epoch)
+            if bool(self._laminar.value("alert", epoch)):
+                self.metrics.change_alerts += 1
+                self.ucsb.local_append(
+                    "alerts", f"alert@{self.engine.now:.0f}".encode()
+                )
+
+    def _alert_poll_loop(self, duration_s: float) -> Generator:
+        """ND fetches the alert log on the 30-minute duty cycle."""
+        cfg = self.config
+        # Offset by one telemetry interval so polls trail detections.
+        yield self.engine.timeout(cfg.telemetry_interval_s)
+        while self.engine.now + cfg.duty_cycle_s <= duration_s:
+            yield self.engine.timeout(cfg.duty_cycle_s)
+            entries = yield self.transport.remote_fetch(
+                self.nd, self.ucsb, "alerts", since_seqno=self._last_alert_seqno
+            )
+            if not entries:
+                continue
+            self._last_alert_seqno = entries[-1].seqno
+            if not self._cfd_busy:
+                self.engine.process(self._cfd_trigger(), name="cfd-trigger")
+
+    def _cfd_trigger(self) -> Generator:
+        """Alert -> pilot -> CFD -> twin refresh (the HPC arm of Fig. 3)."""
+        cfg = self.config
+        self._cfd_busy = True
+        trigger_time = self.engine.now
+        try:
+            snapshot = self._latest_snapshot()
+            case = case_from_telemetry(
+                snapshot,
+                mesh=cfg.twin_mesh,
+                config=cfg.twin_solver,
+                name=f"cups_structure_{int(trigger_time)}",
+            )
+            runtime = float(
+                self.perfmodel.sample_total_time(
+                    cfg.cores_per_simulation, self.engine.rng("cfd.runtime")
+                )[0]
+            )
+            queue_start = self.engine.now
+            site_name = self.site.name
+            task = None
+            # A pilot can expire between selection and execution; acquire
+            # a fresh one and retry (the delay-tolerant discipline again).
+            for attempt in range(3):
+                site_name, pilot, nodes_needed = self._acquire_pilot(case)
+                task = Task(
+                    name=f"cfd-{int(trigger_time)}-a{attempt}",
+                    nodes=nodes_needed,
+                    runtime_s=runtime,
+                )
+                try:
+                    yield pilot.run_task(task)
+                    break
+                except RuntimeError:
+                    continue
+            else:
+                raise RuntimeError(
+                    f"CFD trigger at {trigger_time:.0f}s failed on three pilots"
+                )
+            queue_wait = (task.start_time or queue_start) - queue_start
+            # The real (laptop-scale) solve that feeds the digital twin.
+            fields = case.build_solver().solve().fields
+            self.twin.update(case, fields)
+            total = self.engine.now - trigger_time
+            self.metrics.cfd_runs.append(
+                CfdRunRecord(
+                    trigger_time_s=trigger_time,
+                    queue_wait_s=queue_wait,
+                    execution_s=runtime,
+                    total_response_s=total,
+                    cores=cfg.cores_per_simulation,
+                    validity_window_s=cfg.duty_cycle_s - total,
+                    site=site_name,
+                )
+            )
+            self.nd.local_append(
+                "cfd.results",
+                f"run@{trigger_time:.0f} total={total:.1f}s".encode(),
+            )
+            # Return path to the site operator: ND -> UCSB -> UNL.
+            summary = (
+                f"cfd@{trigger_time:.0f}: interior airflow refreshed; "
+                f"wind {case.bcs.inlet.speed_mps:.1f} m/s"
+            ).encode()
+            done_at = self.engine.now
+            yield self._summary_appender.append(summary)
+            yield self._operator_appender.append(summary)
+            self.metrics.operator_notification_latencies_s.append(
+                self.engine.now - done_at
+            )
+        finally:
+            self._cfd_busy = False
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _acquire_pilot(self, case: CfdCase):
+        """(site name, pilot, nodes needed) via single- or multi-site path."""
+        cfg = self.config
+        if self.multisite is not None:
+            site_name, pilot = self.multisite.acquire_pilot(
+                case.input_size_bytes()
+            )
+            nodes_needed = self.multisite.nodes_for_task(
+                self.multisite.sites[site_name]
+            )
+            return site_name, pilot, nodes_needed
+        self.controller.retire_finished()
+        self.controller.on_data(case.input_size_bytes())
+        nodes_needed = max(
+            1, -(-cfg.cores_per_simulation // self.site.cluster.cores_per_node)
+        )
+        pilot = self.controller.best_pilot_for(nodes_needed)
+        if pilot is None:
+            pilot = self.controller.pilots[-1]  # freshly submitted
+        return self.site.name, pilot, nodes_needed
+
+    def _exterior_wind_series(self) -> list[float]:
+        log = self.ucsb.get_log(f"telemetry.{self.exterior_station.station_id}")
+        return [
+            TelemetryRecord.from_bytes(entry.payload).wind_speed_mps
+            for entry in log.scan()
+        ]
+
+    def _latest_snapshot(self) -> TelemetrySnapshot:
+        """Assemble the CFD boundary conditions from the freshest telemetry."""
+        ext_log = self.ucsb.get_log(
+            f"telemetry.{self.exterior_station.station_id}"
+        )
+        if ext_log.last_seqno == 0:
+            raise RuntimeError("no telemetry available to build a CFD case")
+        ext = TelemetryRecord.from_bytes(ext_log.get(ext_log.last_seqno).payload)
+        interior_temps = []
+        humidity = ext.relative_humidity
+        for station in self.stations:
+            if not station.interior:
+                continue
+            log = self.ucsb.get_log(f"telemetry.{station.station_id}")
+            if log.last_seqno:
+                rec = TelemetryRecord.from_bytes(log.get(log.last_seqno).payload)
+                interior_temps.append(rec.temperature_k)
+        interior_t = (
+            sum(interior_temps) / len(interior_temps)
+            if interior_temps else ext.temperature_k + 2.0
+        )
+        return TelemetrySnapshot(
+            wind_speed_mps=ext.wind_speed_mps,
+            wind_direction_deg=0.0,  # the case mesh is wind-aligned
+            exterior_temperature_k=ext.temperature_k,
+            interior_temperature_k=interior_t,
+            relative_humidity=humidity,
+            timestamp_s=self.engine.now,
+        )
+
+    def _compare_twin(self, readings) -> None:
+        if not self.twin.has_prediction:
+            return
+        exterior = next(r for r in readings if not r.interior)
+        interior = [r for r in readings if r.interior]
+        comparison = self.twin.compare(
+            self.engine.now, exterior.wind_speed_mps, interior
+        )
+        if comparison.breach_suspected:
+            self.metrics.breach_suspicions += 1
+            panel = comparison.suspect_panel_index
+            if (
+                panel is not None
+                and panel < self.robot.n_panels
+                and panel not in self._confirmed_panels
+                and not self.robot.busy
+            ):
+                truth = panel in self.breaches.breached_panels_at(self.engine.now)
+                mission = self.robot.dispatch(panel, breach_present=truth)
+
+                def _record(event) -> None:
+                    if event.ok:
+                        report: SurveilReport = event.value
+                        self.metrics.robot_reports.append(report)
+                        # The robot's camera imagery rides the same 5G
+                        # uplink as the stations ("robot-based sensing").
+                        image_bytes = report.images_taken * 2_000_000
+                        self.metrics.robot_upload_bytes += image_bytes
+                        if self._ue is not None and self._ue.session is not None:
+                            self.radio.core.route_uplink(
+                                self._ue.session, image_bytes
+                            )
+                        if report.breach_confirmed:
+                            # Confirmed damage is now a known repair ticket,
+                            # not something to keep re-surveilling.
+                            self._confirmed_panels.add(report.panel_index)
+
+                mission.add_callback(_record)

@@ -1,0 +1,68 @@
+"""Telemetry records: the bytes that flow through CSPOT logs."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.sensors.station import StationReading
+
+#: Fixed wire format: station id (16 bytes, NUL-padded) + 5 doubles + flag.
+_WIRE = struct.Struct("<16s d d d d d ?")
+
+#: CSPOT log element size for telemetry (with headroom).
+TELEMETRY_ELEMENT_SIZE = 128
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """One station report in transit/storage."""
+
+    station_id: str
+    time_s: float
+    wind_speed_mps: float
+    wind_direction_deg: float
+    temperature_k: float
+    relative_humidity: float
+    interior: bool
+
+    @classmethod
+    def from_reading(cls, reading: StationReading) -> "TelemetryRecord":
+        return cls(
+            station_id=reading.station_id,
+            time_s=reading.time_s,
+            wind_speed_mps=reading.wind_speed_mps,
+            wind_direction_deg=reading.wind_direction_deg,
+            temperature_k=reading.temperature_k,
+            relative_humidity=reading.relative_humidity,
+            interior=reading.interior,
+        )
+
+    def to_bytes(self) -> bytes:
+        sid = self.station_id.encode("utf-8")
+        if len(sid) > 16:
+            raise ValueError(f"station id too long for wire format: {self.station_id!r}")
+        return _WIRE.pack(
+            sid.ljust(16, b"\x00"),
+            self.time_s,
+            self.wind_speed_mps,
+            self.wind_direction_deg,
+            self.temperature_k,
+            self.relative_humidity,
+            self.interior,
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "TelemetryRecord":
+        sid, t, wind, direction, temp, rh, interior = _WIRE.unpack(
+            data[: _WIRE.size]
+        )
+        return cls(
+            station_id=sid.rstrip(b"\x00").decode("utf-8"),
+            time_s=t,
+            wind_speed_mps=wind,
+            wind_direction_deg=direction,
+            temperature_k=temp,
+            relative_humidity=rh,
+            interior=interior,
+        )

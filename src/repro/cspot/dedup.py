@@ -1,0 +1,53 @@
+"""Server-side deduplication for exactly-once append semantics.
+
+The paper: "Retrying the append until a sequence number is successfully
+returned ensures data integrity, but deduplication of the CSPOT logs is
+necessary to implement 'exactly once' delivery semantics." The table maps
+``(client_id, op_id)`` to the sequence number the first successful append
+received; a retry of an already-applied operation returns the recorded
+seqno without appending again.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class DedupTable:
+    """Bounded LRU map of (client_id, op_id) -> seqno."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._table: OrderedDict[tuple[str, str], int] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def check(self, client_id: str, op_id: str) -> Optional[int]:
+        """Return the recorded seqno for a duplicate, else None."""
+        key = (client_id, op_id)
+        seqno = self._table.get(key)
+        if seqno is not None:
+            self._table.move_to_end(key)
+            self.hits += 1
+            return seqno
+        self.misses += 1
+        return None
+
+    def record(self, client_id: str, op_id: str, seqno: int) -> None:
+        """Record a completed operation's sequence number."""
+        key = (client_id, op_id)
+        if key in self._table and self._table[key] != seqno:
+            raise ValueError(
+                f"op {key} already recorded with seqno {self._table[key]}, "
+                f"refusing to overwrite with {seqno}"
+            )
+        self._table[key] = seqno
+        self._table.move_to_end(key)
+        while len(self._table) > self.capacity:
+            self._table.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,68 @@
+"""Fault injection: partitions, ack loss, power loss schedules.
+
+"Devices operating in remote locations using 5G connectivity can be subject
+to frequent network interruption" (section 3.1) -- the delay-tolerance tests
+drive these injectors to show that retried appends deliver exactly once
+through arbitrary partition/power-loss schedules.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Optional
+
+import numpy as np
+
+
+class FaultInjector:
+    """Per-path fault schedule.
+
+    Partitions are half-open windows ``[start, end)`` of simulated time in
+    which messages on the path fail. Ack loss is i.i.d. with probability
+    ``ack_loss_prob`` applied to the acknowledgement leg only (producing the
+    paper's "append succeeded but the sequence number was lost" mode).
+    """
+
+    def __init__(
+        self,
+        ack_loss_prob: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 <= ack_loss_prob < 1.0:
+            raise ValueError(f"ack_loss_prob out of [0,1): {ack_loss_prob}")
+        self.ack_loss_prob = ack_loss_prob
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._starts: list[float] = []
+        self._ends: list[float] = []
+
+    def add_partition(self, start: float, end: float) -> None:
+        """Schedule a partition window [start, end)."""
+        if end <= start:
+            raise ValueError(f"empty partition window [{start}, {end})")
+        # Keep windows sorted and non-overlapping for O(log n) queries.
+        for s, e in zip(self._starts, self._ends):
+            if start < e and s < end:
+                raise ValueError(
+                    f"partition [{start}, {end}) overlaps existing [{s}, {e})"
+                )
+        idx = bisect_right(self._starts, start)
+        self._starts.insert(idx, start)
+        self._ends.insert(idx, end)
+
+    def partitioned_at(self, t: float) -> bool:
+        """Is the path partitioned at simulated time ``t``?"""
+        idx = bisect_right(self._starts, t) - 1
+        return idx >= 0 and t < self._ends[idx]
+
+    def next_heal_after(self, t: float) -> Optional[float]:
+        """End of the partition window covering ``t``, or None."""
+        idx = bisect_right(self._starts, t) - 1
+        if idx >= 0 and t < self._ends[idx]:
+            return self._ends[idx]
+        return None
+
+    def drop_ack(self) -> bool:
+        """Draw whether this operation's acknowledgement is lost."""
+        if self.ack_loss_prob == 0.0:
+            return False
+        return bool(self._rng.random() < self.ack_loss_prob)

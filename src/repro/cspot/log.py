@@ -1,0 +1,219 @@
+"""The WooF: CSPOT's append-only circular log.
+
+A WooF ("Wide area object of Functions" in CSPOT parlance) holds fixed-size
+elements in a circular buffer of ``history_size`` slots. Appends are assigned
+monotonically increasing sequence numbers starting at 1; only this
+assignment is atomic -- reads are unsynchronized, which is safe because
+entries are immutable once written (single-assignment).
+
+Invariants (property-tested in ``tests/cspot``):
+
+* sequence numbers are dense and strictly increasing;
+* an entry read back equals the entry appended (until evicted);
+* after eviction exactly the most recent ``history_size`` entries remain;
+* recovery from storage preserves all of the above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.cspot.errors import ElementSizeError, EvictedError
+from repro.cspot.storage import MemoryStorage, StorageBackend
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """An immutable log entry: payload plus its assigned sequence number."""
+
+    seqno: int
+    payload: bytes
+    appended_at: float  # simulated time of the append
+
+
+class WooF:
+    """An append-only circular log with fixed-size elements.
+
+    Parameters
+    ----------
+    name:
+        Log name within its namespace.
+    element_size:
+        Maximum payload size in bytes; stored in the log header. Remote
+        appenders must know it to frame their messages -- fetching it is
+        the first round trip of the transport protocol.
+    history_size:
+        Number of slots; older entries are overwritten (circular).
+    storage:
+        Persistence backend; defaults to a fresh :class:`MemoryStorage`.
+        Passing an existing backend recovers the log from it.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        element_size: int,
+        history_size: int = 1024,
+        storage: Optional[StorageBackend] = None,
+    ) -> None:
+        if element_size <= 0:
+            raise ValueError(f"element_size must be positive: {element_size}")
+        if history_size <= 0:
+            raise ValueError(f"history_size must be positive: {history_size}")
+        self.name = name
+        self.element_size = element_size
+        self.history_size = history_size
+        self.storage = storage if storage is not None else MemoryStorage()
+        header = self.storage.read_header()
+        if header is not None:
+            if header["element_size"] != element_size or header["history_size"] != history_size:
+                raise ValueError(
+                    f"log {name!r}: storage header "
+                    f"(element_size={header['element_size']}, "
+                    f"history_size={header['history_size']}) does not match "
+                    f"requested ({element_size}, {history_size})"
+                )
+            self._last_seqno = int(header["last_seqno"])
+        else:
+            self._last_seqno = 0
+            self._write_header()
+        self._on_append: list[Callable[["WooF", LogEntry], None]] = []
+
+    # -- header ------------------------------------------------------------
+
+    def _write_header(self) -> None:
+        self.storage.write_header(
+            {
+                "element_size": self.element_size,
+                "history_size": self.history_size,
+                "last_seqno": self._last_seqno,
+            }
+        )
+
+    # -- observers -----------------------------------------------------------
+
+    def subscribe(self, fn: Callable[["WooF", LogEntry], None]) -> None:
+        """Register a local observer called synchronously on each append.
+
+        This is the hook :class:`~repro.cspot.node.CSPOTNode` uses to fire
+        handlers; application code should register handlers on the node.
+        """
+        self._on_append.append(fn)
+
+    # -- core operations -----------------------------------------------------------
+
+    @property
+    def last_seqno(self) -> int:
+        """Sequence number of the most recent append (0 if empty)."""
+        return self._last_seqno
+
+    @property
+    def earliest_seqno(self) -> int:
+        """Oldest sequence number still resident (0 if empty)."""
+        if self._last_seqno == 0:
+            return 0
+        return max(1, self._last_seqno - self.history_size + 1)
+
+    def append(self, payload: bytes, now: float = 0.0) -> int:
+        """Append ``payload``, returning its sequence number.
+
+        The seqno assignment is the only atomic step (the paper's design
+        point); in this single-threaded simulation that is trivially true,
+        and the test suite asserts the resulting invariants directly.
+        """
+        if not isinstance(payload, (bytes, bytearray)):
+            raise TypeError(f"payload must be bytes, got {type(payload).__name__}")
+        if len(payload) > self.element_size:
+            raise ElementSizeError(
+                f"log {self.name!r}: payload of {len(payload)} bytes exceeds "
+                f"element size {self.element_size}"
+            )
+        self._last_seqno += 1
+        seqno = self._last_seqno
+        slot = (seqno - 1) % self.history_size
+        entry = LogEntry(seqno=seqno, payload=bytes(payload), appended_at=now)
+        self.storage.write_record(slot, self._frame(entry))
+        self._write_header()
+        self.storage.sync()
+        for fn in list(self._on_append):
+            fn(self, entry)
+        return seqno
+
+    def get(self, seqno: int) -> LogEntry:
+        """Fetch the entry with the given sequence number."""
+        if seqno < 1 or seqno > self._last_seqno:
+            raise KeyError(
+                f"log {self.name!r}: seqno {seqno} out of range 1..{self._last_seqno}"
+            )
+        if seqno < self.earliest_seqno:
+            raise EvictedError(
+                f"log {self.name!r}: seqno {seqno} evicted "
+                f"(earliest resident is {self.earliest_seqno})"
+            )
+        slot = (seqno - 1) % self.history_size
+        entry = self._unframe(self.storage.read_record(slot))
+        if entry.seqno != seqno:  # pragma: no cover - defensive
+            raise EvictedError(
+                f"log {self.name!r}: slot for seqno {seqno} holds {entry.seqno}"
+            )
+        return entry
+
+    def latest(self, n: int = 1) -> list[LogEntry]:
+        """The most recent ``n`` resident entries, oldest first."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative: {n}")
+        lo = max(self.earliest_seqno, self._last_seqno - n + 1)
+        if self._last_seqno == 0:
+            return []
+        return [self.get(s) for s in range(lo, self._last_seqno + 1)]
+
+    def scan(self, since_seqno: int = 0) -> Iterator[LogEntry]:
+        """Iterate resident entries with seqno > ``since_seqno``, in order.
+
+        This is the primitive handler code uses for multi-event
+        synchronization ("handler code must parse and scan the logs").
+        """
+        lo = max(self.earliest_seqno, since_seqno + 1)
+        for s in range(lo, self._last_seqno + 1):
+            yield self.get(s)
+
+    def __len__(self) -> int:
+        """Number of resident entries."""
+        if self._last_seqno == 0:
+            return 0
+        return self._last_seqno - self.earliest_seqno + 1
+
+    # -- framing ---------------------------------------------------------------------
+
+    @staticmethod
+    def _frame(entry: LogEntry) -> bytes:
+        import struct
+
+        head = struct.pack("<Qd I", entry.seqno, entry.appended_at, len(entry.payload))
+        return head + entry.payload
+
+    @staticmethod
+    def _unframe(frame: bytes) -> LogEntry:
+        import struct
+
+        head_size = struct.calcsize("<Qd I")
+        seqno, appended_at, length = struct.unpack("<Qd I", frame[:head_size])
+        return LogEntry(
+            seqno=seqno,
+            payload=frame[head_size : head_size + length],
+            appended_at=appended_at,
+        )
+
+    @classmethod
+    def recover(cls, name: str, storage: StorageBackend) -> "WooF":
+        """Re-open a log from its storage backend after a process death."""
+        header = storage.read_header()
+        if header is None:
+            raise ValueError(f"storage for {name!r} holds no log header")
+        return cls(
+            name,
+            element_size=int(header["element_size"]),
+            history_size=int(header["history_size"]),
+            storage=storage,
+        )

@@ -1,0 +1,73 @@
+"""Namespaces: the collection of WooF logs a node hosts.
+
+A CSPOT namespace maps log names to WooFs, backed by a storage factory so
+that every log a node creates survives the node's process. The namespace
+object itself is the "disk": a revived node re-opens the same namespace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cspot.log import WooF
+from repro.cspot.storage import MemoryStorage, StorageBackend
+
+
+class Namespace:
+    """A named collection of persistent logs.
+
+    Parameters
+    ----------
+    name:
+        Namespace identifier (the testbed uses per-site namespaces such as
+        ``"unl"``, ``"ucsb"``, ``"nd"``).
+    storage_factory:
+        Called with a log name to create that log's backend; default
+        :class:`MemoryStorage`. Use a :class:`FileStorage`-producing factory
+        for on-disk namespaces.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        storage_factory: Optional[Callable[[str], StorageBackend]] = None,
+    ) -> None:
+        self.name = name
+        self._storage_factory = storage_factory or (lambda _name: MemoryStorage())
+        self._logs: dict[str, WooF] = {}
+        self._storages: dict[str, StorageBackend] = {}
+
+    def create(self, log_name: str, element_size: int, history_size: int = 1024) -> WooF:
+        """Create a new log; error if the name exists."""
+        if log_name in self._logs:
+            raise ValueError(f"namespace {self.name!r}: log {log_name!r} exists")
+        storage = self._storage_factory(log_name)
+        log = WooF(log_name, element_size, history_size, storage=storage)
+        self._logs[log_name] = log
+        self._storages[log_name] = storage
+        return log
+
+    def get(self, log_name: str) -> WooF:
+        try:
+            return self._logs[log_name]
+        except KeyError:
+            raise KeyError(
+                f"namespace {self.name!r}: no log {log_name!r} "
+                f"(have {sorted(self._logs)})"
+            ) from None
+
+    def __contains__(self, log_name: str) -> bool:
+        return log_name in self._logs
+
+    def names(self) -> list[str]:
+        return sorted(self._logs)
+
+    def drop_processes(self) -> None:
+        """Simulate process death: forget open log objects, keep storage."""
+        self._logs.clear()
+
+    def reopen(self) -> None:
+        """Recover all logs from their storage backends after process death."""
+        for log_name, storage in self._storages.items():
+            if log_name not in self._logs:
+                self._logs[log_name] = WooF.recover(log_name, storage)

@@ -1,0 +1,159 @@
+"""A CSPOT node: namespace + handlers + lifecycle.
+
+Handlers are the only computational mechanism: a handler is bound to one log
+and fired once per append to that log. Handlers run asynchronously (as
+engine events) and can never block waiting for another handler -- "a CSPOT
+program can always make progress". Multi-event synchronization is expressed
+by handler code scanning logs (:meth:`WooF.scan`).
+
+Lifecycle: :meth:`power_off` kills the process (handlers stop, in-flight
+server work dies) but storage survives; :meth:`power_on` recovers every log
+from storage and re-arms the registered handlers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cspot.dedup import DedupTable
+from repro.cspot.errors import NodeDownError
+from repro.cspot.log import LogEntry, WooF
+from repro.cspot.namespace import Namespace
+from repro.simkernel import Engine
+
+#: A handler receives (node, log, entry) and returns None. Appending to
+#: other logs from inside a handler is allowed (and is how Laminar chains
+#: computation).
+Handler = Callable[["CSPOTNode", WooF, LogEntry], None]
+
+
+@dataclass
+class _HandlerBinding:
+    log_name: str
+    fn: Handler
+    fire_delay_s: float
+
+
+class CSPOTNode:
+    """One CSPOT runtime instance (a Raspberry Pi, an edge server, a head
+    node of an HPC cluster -- the same stack runs at all scales).
+
+    Parameters
+    ----------
+    engine:
+        The shared simulation engine.
+    name:
+        Node name; also used as the default namespace name.
+    namespace:
+        Existing namespace to host (e.g. when reviving a node); default a
+        fresh memory-backed one.
+    handler_delay_s:
+        Default scheduling delay between an append and its handler's
+        execution (models the event-dispatch cost).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        namespace: Optional[Namespace] = None,
+        handler_delay_s: float = 0.001,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.namespace = namespace if namespace is not None else Namespace(name)
+        self.handler_delay_s = handler_delay_s
+        self.dedup = DedupTable()
+        self.alive = True
+        self._bindings: list[_HandlerBinding] = []
+        self._subscribed: set[str] = set()
+        self.handler_invocations = 0
+        #: (simulated time, log name, exception) per failed handler run.
+        self.handler_errors: list[tuple[float, str, BaseException]] = []
+        # Re-arm subscriptions for logs that already exist in the namespace.
+        for log_name in self.namespace.names():
+            self._arm(log_name)
+
+    # -- log management ------------------------------------------------------
+
+    def create_log(self, log_name: str, element_size: int, history_size: int = 1024) -> WooF:
+        self._require_alive()
+        log = self.namespace.create(log_name, element_size, history_size)
+        self._arm(log_name)
+        return log
+
+    def get_log(self, log_name: str) -> WooF:
+        self._require_alive()
+        return self.namespace.get(log_name)
+
+    def local_append(self, log_name: str, payload: bytes) -> int:
+        """Append from code running on this node (no network involved)."""
+        self._require_alive()
+        return self.get_log(log_name).append(payload, now=self.engine.now)
+
+    # -- handlers -------------------------------------------------------------
+
+    def register_handler(
+        self, log_name: str, fn: Handler, fire_delay_s: Optional[float] = None
+    ) -> None:
+        """Fire ``fn`` once per append to ``log_name``.
+
+        Multiple handlers may watch the same log; each fires independently.
+        """
+        self._require_alive()
+        if log_name not in self.namespace:
+            raise KeyError(f"node {self.name!r}: no log {log_name!r} to handle")
+        delay = self.handler_delay_s if fire_delay_s is None else fire_delay_s
+        self._bindings.append(_HandlerBinding(log_name, fn, delay))
+
+    def _arm(self, log_name: str) -> None:
+        if log_name in self._subscribed:
+            return
+        self._subscribed.add(log_name)
+        self.namespace.get(log_name).subscribe(self._on_append)
+
+    def _on_append(self, log: WooF, entry: LogEntry) -> None:
+        if not self.alive:
+            return
+        for binding in self._bindings:
+            if binding.log_name != log.name:
+                continue
+            self._schedule_handler(binding, log, entry)
+
+    def _schedule_handler(
+        self, binding: _HandlerBinding, log: WooF, entry: LogEntry
+    ) -> None:
+        def _fire(_event) -> None:
+            if not self.alive:
+                return  # the process died before the handler ran
+            self.handler_invocations += 1
+            try:
+                binding.fn(self, log, entry)
+            except Exception as exc:
+                # A faulty handler crashes its own invocation, never the
+                # runtime: "a CSPOT program can always make progress".
+                self.handler_errors.append((self.engine.now, log.name, exc))
+
+        self.engine.timeout(binding.fire_delay_s).add_callback(_fire)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def power_off(self) -> None:
+        """Kill the node process. Storage (the namespace) survives."""
+        self.alive = False
+        self.namespace.drop_processes()
+
+    def power_on(self) -> None:
+        """Revive the node: recover logs from storage, re-arm handlers."""
+        if self.alive:
+            return
+        self.namespace.reopen()
+        self._subscribed.clear()
+        for log_name in self.namespace.names():
+            self._arm(log_name)
+        self.alive = True
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise NodeDownError(f"node {self.name!r} is powered off")

@@ -1,0 +1,51 @@
+"""Calibrated network paths for the testbed topology (Table 1 anchors).
+
+A remote append costs 4 one-way legs (size-fetch round trip + payload/ack
+round trip) plus ~1 ms of server-side durable-append work, so the per-leg
+means below reproduce the paper's measured averages:
+
+* UNL->UCSB over the private 5G + Internet: 4 x 25 ms + 1 ms = 101 ms
+  (paper: 101 +/- 17 ms). The 5G hop dominates: radio frame alignment,
+  HARQ, and the core's UPF add ~21 ms one-way over the bare Internet path.
+* UNL->UCSB over wired Internet only: 4 x 4 ms + 1 ms = 17 ms
+  (paper: 17 +/- 0.8 ms).
+* UCSB->ND over Internet: 4 x 22.75 ms + 1 ms = 92 ms (paper: 92 +/- 1 ms).
+
+Per-leg jitter is sized so the 4-leg sum matches the paper's SD.
+"""
+
+from __future__ import annotations
+
+from repro.cspot.transport import NetworkPath
+
+
+def unl_ucsb_5g() -> NetworkPath:
+    """UNL -> UCSB carried over the private 5G network and the Internet."""
+    return NetworkPath(name="UNL->UCSB (5G+Int.)", one_way_ms=25.0, jitter_ms=8.5)
+
+
+def unl_ucsb_internet() -> NetworkPath:
+    """UNL -> UCSB with the client moved to wired Ethernet (no 5G hop)."""
+    return NetworkPath(name="UNL->UCSB (Internet)", one_way_ms=4.0, jitter_ms=0.4)
+
+
+def ucsb_nd_internet() -> NetworkPath:
+    """UCSB -> ND over the public Internet."""
+    return NetworkPath(name="UCSB->ND (Internet)", one_way_ms=22.75, jitter_ms=0.5)
+
+
+def testbed_paths() -> dict[str, NetworkPath]:
+    """All three Table 1 paths keyed by a short identifier."""
+    return {
+        "unl-ucsb-5g": unl_ucsb_5g(),
+        "unl-ucsb-internet": unl_ucsb_internet(),
+        "ucsb-nd-internet": ucsb_nd_internet(),
+    }
+
+
+#: Paper anchors: path key -> (mean ms, SD ms).
+TABLE1_ANCHORS: dict[str, tuple[float, float]] = {
+    "unl-ucsb-5g": (101.0, 17.0),
+    "unl-ucsb-internet": (17.0, 0.8),
+    "ucsb-nd-internet": (92.0, 1.0),
+}

@@ -1,0 +1,345 @@
+"""CSPOT's network transport: the two-round-trip append protocol.
+
+The paper (section 4.2): "to append data to a remote CSPOT log requires the
+client to request the size of a log element ... from the site where the log
+is hosted before the data is actually sent". So a remote append costs
+
+    RTT(size fetch) + RTT(payload + ack) + server append time.
+
+The size-caching optimization "effectively halves the message latency, but
+causes the append to fail if the log element size is changed on the server
+side without a client cache update" -- both the optimization and its
+staleness failure are implemented here.
+
+Latency calibration (Table 1, 1 KB payloads):
+
+=========================  ==============  =========
+Path                       Paper avg (ms)  Paper SD
+=========================  ==============  =========
+UNL->UCSB (5G + Internet)  101             17
+UNL->UCSB (Internet)        17             0.8
+UCSB->ND  (Internet)        92             1
+=========================  ==============  =========
+
+With the two-RTT protocol, avg = 4 x one-way + t_append: the Internet path
+UNL<->UCSB has ~4 ms one-way; adding the private 5G hop contributes ~21 ms
+one-way (radio frame alignment + core UPF), and the UCSB<->ND Internet path
+~22.8 ms one-way.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.cspot.errors import (
+    AckLostError,
+    AppendError,
+    ElementSizeError,
+    NodeDownError,
+    PartitionedError,
+)
+from repro.cspot.faults import FaultInjector
+from repro.cspot.node import CSPOTNode
+from repro.simkernel import Engine, Process
+
+
+@dataclass
+class NetworkPath:
+    """A directed network path with stochastic one-way latency.
+
+    Attributes
+    ----------
+    name:
+        e.g. ``"unl->ucsb (5g+internet)"``.
+    one_way_ms:
+        Mean one-way latency in milliseconds.
+    jitter_ms:
+        Standard deviation of the per-leg latency draw (lognormal, so the
+        tail is one-sided like real networks).
+    faults:
+        Fault injector for this path.
+    """
+
+    name: str
+    one_way_ms: float
+    jitter_ms: float = 0.0
+    faults: FaultInjector = field(default_factory=FaultInjector)
+
+    def __post_init__(self) -> None:
+        if self.one_way_ms <= 0:
+            raise ValueError(f"one_way_ms must be positive: {self.one_way_ms}")
+        if self.jitter_ms < 0:
+            raise ValueError(f"jitter_ms must be non-negative: {self.jitter_ms}")
+
+    def delay_s(self, rng: np.random.Generator) -> float:
+        """Draw one leg's latency in seconds."""
+        if self.jitter_ms == 0.0:
+            return self.one_way_ms / 1e3
+        mean, sd = self.one_way_ms, self.jitter_ms
+        # Lognormal with the requested mean and SD.
+        sigma2 = np.log(1.0 + (sd / mean) ** 2)
+        mu = np.log(mean) - 0.5 * sigma2
+        return float(rng.lognormal(mu, np.sqrt(sigma2))) / 1e3
+
+
+#: Server-side cost of the durable append itself (storage write + seqno).
+DEFAULT_APPEND_COST_S = 0.001
+
+
+class Transport:
+    """Message transport between CSPOT nodes over named paths."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._paths: dict[tuple[str, str], NetworkPath] = {}
+        self._rng = engine.rng("cspot.transport")
+
+    def connect(self, src: str, dst: str, path: NetworkPath, bidirectional: bool = True) -> None:
+        """Register a path between two node names."""
+        self._paths[(src, dst)] = path
+        if bidirectional:
+            self._paths[(dst, src)] = path
+
+    def path(self, src: str, dst: str) -> NetworkPath:
+        try:
+            return self._paths[(src, dst)]
+        except KeyError:
+            raise AppendError(f"no network path {src} -> {dst}") from None
+
+    # -- protocol -------------------------------------------------------------
+
+    def remote_append(
+        self,
+        client: CSPOTNode,
+        server: CSPOTNode,
+        log_name: str,
+        payload: bytes,
+        client_id: str,
+        op_id: str,
+        cached_element_size: Optional[int] = None,
+        append_cost_s: float = DEFAULT_APPEND_COST_S,
+    ) -> Process:
+        """Start a remote append; the returned process yields the seqno.
+
+        Without ``cached_element_size`` the protocol spends an extra round
+        trip fetching the element size (CSPOT's reliability-first default).
+        With it, the size fetch is skipped -- but if the cache is stale the
+        server rejects the frame with :class:`ElementSizeError`.
+        """
+        return self.engine.process(
+            self._append_body(
+                client, server, log_name, payload, client_id, op_id,
+                cached_element_size, append_cost_s,
+            ),
+            name=f"append:{client.name}->{server.name}:{log_name}",
+        )
+
+    def _append_body(
+        self,
+        client: CSPOTNode,
+        server: CSPOTNode,
+        log_name: str,
+        payload: bytes,
+        client_id: str,
+        op_id: str,
+        cached_element_size: Optional[int],
+        append_cost_s: float,
+    ) -> Generator:
+        path = self.path(client.name, server.name)
+        if not client.alive:
+            raise NodeDownError(f"client node {client.name!r} is powered off")
+
+        # Round trip 1: element size fetch (skipped with a warm cache).
+        if cached_element_size is None:
+            yield from self._leg(path)  # request
+            self._require_server(server, path)
+            log = server.namespace.get(log_name)
+            element_size = log.element_size
+            yield from self._leg(path)  # response
+        else:
+            element_size = cached_element_size
+
+        if len(payload) > element_size:
+            # With a correct size this is caught client-side before sending.
+            raise ElementSizeError(
+                f"payload {len(payload)}B exceeds element size {element_size}B "
+                f"for log {log_name!r}"
+            )
+
+        # Round trip 2: payload + ack.
+        yield from self._leg(path)  # payload transfer
+        self._require_server(server, path)
+        log = server.namespace.get(log_name)
+        if cached_element_size is not None and cached_element_size != log.element_size:
+            # Stale cache: server rejects the mis-framed message.
+            raise ElementSizeError(
+                f"stale cached element size {cached_element_size} != "
+                f"server's {log.element_size} for log {log_name!r}"
+            )
+        # Exactly-once: duplicate retries return the recorded seqno without
+        # a second append.
+        seqno = server.dedup.check(client_id, op_id)
+        if seqno is None:
+            yield self.engine.timeout(append_cost_s)
+            self._require_server(server, path)
+            seqno = log.append(payload, now=self.engine.now)
+            server.dedup.record(client_id, op_id, seqno)
+
+        # Ack leg: this is where "append succeeded, seqno lost" happens.
+        if path.faults.drop_ack():
+            raise AckLostError(
+                f"append to {log_name!r} committed as seqno {seqno} "
+                f"but the acknowledgement was lost"
+            )
+        yield from self._leg(path)  # ack
+        return seqno
+
+    def remote_fetch(
+        self,
+        client: CSPOTNode,
+        server: CSPOTNode,
+        log_name: str,
+        since_seqno: int = 0,
+    ) -> Process:
+        """Fetch log entries with seqno > ``since_seqno`` from a remote node.
+
+        One round trip (request + response); this is the "data parked in
+        logs ... fetched once the nodes become active" read path, e.g. ND
+        pulling the alert log from UCSB on its duty cycle. The returned
+        process yields a list of :class:`~repro.cspot.log.LogEntry`.
+        """
+        return self.engine.process(
+            self._fetch_body(client, server, log_name, since_seqno),
+            name=f"fetch:{client.name}<-{server.name}:{log_name}",
+        )
+
+    def _fetch_body(
+        self,
+        client: CSPOTNode,
+        server: CSPOTNode,
+        log_name: str,
+        since_seqno: int,
+    ) -> Generator:
+        path = self.path(client.name, server.name)
+        if not client.alive:
+            raise NodeDownError(f"client node {client.name!r} is powered off")
+        yield from self._leg(path)  # request
+        self._require_server(server, path)
+        entries = list(server.namespace.get(log_name).scan(since_seqno))
+        yield from self._leg(path)  # response
+        return entries
+
+    def _leg(self, path: NetworkPath) -> Generator:
+        """One message leg: latency + partition check at send time."""
+        if path.faults.partitioned_at(self.engine.now):
+            raise PartitionedError(f"path {path.name!r} is partitioned")
+        yield self.engine.timeout(path.delay_s(self._rng))
+        if path.faults.partitioned_at(self.engine.now):
+            # Partition began while the message was in flight: it is lost.
+            raise PartitionedError(f"path {path.name!r} partitioned in flight")
+
+    @staticmethod
+    def _require_server(server: CSPOTNode, path: NetworkPath) -> None:
+        if not server.alive:
+            raise NodeDownError(f"server node {server.name!r} is powered off")
+
+
+class RemoteAppendClient:
+    """Reliable append: retry until a sequence number is returned.
+
+    Implements the paper's discipline: "a 'failure to append' ... is simply
+    retried until it succeeds or the application terminates the
+    computation". Retries reuse the same op id so the server's dedup table
+    upgrades at-least-once to exactly-once. The client optionally caches the
+    element size after the first success (the latency optimization), and
+    invalidates the cache on a stale-size failure.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        transport: Transport,
+        client: CSPOTNode,
+        server: CSPOTNode,
+        log_name: str,
+        use_size_cache: bool = False,
+        retry_backoff_s: float = 0.5,
+        max_retries: int = 100,
+        max_backoff_s: float = 60.0,
+    ) -> None:
+        if retry_backoff_s < 0:
+            raise ValueError(f"negative backoff: {retry_backoff_s}")
+        if max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1: {max_retries}")
+        if max_backoff_s < retry_backoff_s:
+            raise ValueError("max_backoff_s must be >= retry_backoff_s")
+        self.transport = transport
+        self.client = client
+        self.server = server
+        self.log_name = log_name
+        self.use_size_cache = use_size_cache
+        self.retry_backoff_s = retry_backoff_s
+        self.max_retries = max_retries
+        self.max_backoff_s = max_backoff_s
+        self.client_id = f"{client.name}/{next(self._ids)}"
+        self._cached_size: Optional[int] = None
+        self._op_counter = itertools.count()
+        self.attempts = 0
+
+    def append(self, payload: bytes) -> Process:
+        """Start a reliable append; the process yields the seqno."""
+        op_id = f"op-{next(self._op_counter)}"
+        return self.transport.engine.process(
+            self._retry_body(payload, op_id),
+            name=f"reliable-append:{self.client.name}:{op_id}",
+        )
+
+    def _retry_body(self, payload: bytes, op_id: str) -> Generator:
+        engine = self.transport.engine
+        last_error: Exception | None = None
+        for attempt in range(self.max_retries):
+            self.attempts += 1
+            cached = self._cached_size if self.use_size_cache else None
+            try:
+                seqno = yield self.transport.remote_append(
+                    self.client,
+                    self.server,
+                    self.log_name,
+                    payload,
+                    client_id=self.client_id,
+                    op_id=op_id,
+                    cached_element_size=cached,
+                )
+            except ElementSizeError as exc:
+                if cached is not None:
+                    # Stale cache: invalidate and retry with a size fetch.
+                    self._cached_size = None
+                    last_error = exc
+                    continue
+                raise  # genuinely oversized payload: not retryable
+            except (PartitionedError, NodeDownError, AckLostError) as exc:
+                last_error = exc
+                if self.retry_backoff_s:
+                    # Exponential backoff, capped: long partitions (the
+                    # paper's "frequent network interruption" in remote
+                    # deployments) are waited out rather than hammered.
+                    backoff = min(
+                        self.retry_backoff_s * (2 ** min(attempt, 12)),
+                        self.max_backoff_s,
+                    )
+                    yield engine.timeout(backoff)
+                continue
+            if self.use_size_cache and self._cached_size is None:
+                self._cached_size = self.server.namespace.get(
+                    self.log_name
+                ).element_size
+            return seqno
+        raise AppendError(
+            f"append to {self.log_name!r} failed after {self.max_retries} "
+            f"attempts; last error: {last_error}"
+        )

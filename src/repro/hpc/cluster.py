@@ -1,0 +1,169 @@
+"""The cluster: node accounting + batch queue + scheduler drive loop."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hpc.job import Job, JobState
+from repro.hpc.schedulers import BackfillScheduler, Scheduler
+from repro.simkernel import Engine
+
+
+class SubmitError(Exception):
+    """Job rejected at submission (too big, bad walltime...)."""
+
+
+class Cluster:
+    """A homogeneous cluster with a batch queue.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    name:
+        Cluster name (e.g. ``"nd-crc"``).
+    total_nodes / cores_per_node:
+        Hardware shape. The testbed's nodes are 64-core.
+    scheduler:
+        Scheduling discipline (default conservative backfill).
+    max_walltime_s:
+        Site policy cap on requested walltime.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        total_nodes: int,
+        cores_per_node: int = 64,
+        scheduler: Optional[Scheduler] = None,
+        max_walltime_s: float = 48 * 3600.0,
+    ) -> None:
+        if total_nodes <= 0 or cores_per_node <= 0:
+            raise ValueError("cluster shape must be positive")
+        self.engine = engine
+        self.name = name
+        self.total_nodes = total_nodes
+        self.cores_per_node = cores_per_node
+        self.scheduler = scheduler if scheduler is not None else BackfillScheduler()
+        self.max_walltime_s = max_walltime_s
+        self._pending: list[Job] = []
+        self._running: list[Job] = []
+        self._history: list[Job] = []
+        self._next_id = 1
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def free_nodes(self) -> int:
+        return self.total_nodes - sum(j.nodes for j in self._running)
+
+    @property
+    def pending_jobs(self) -> list[Job]:
+        return list(self._pending)
+
+    @property
+    def running_jobs(self) -> list[Job]:
+        return list(self._running)
+
+    @property
+    def completed_jobs(self) -> list[Job]:
+        return [j for j in self._history if j.is_terminal]
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, job: Job) -> Job:
+        """Enqueue a job; returns it with ``job_id`` and events populated."""
+        if job.state is not JobState.PENDING or job.job_id != -1:
+            raise SubmitError(f"job {job.name!r} was already submitted")
+        if job.nodes > self.total_nodes:
+            raise SubmitError(
+                f"job {job.name!r} wants {job.nodes} nodes; "
+                f"{self.name} has {self.total_nodes}"
+            )
+        if job.walltime_s > self.max_walltime_s:
+            raise SubmitError(
+                f"job {job.name!r} walltime {job.walltime_s}s exceeds site "
+                f"limit {self.max_walltime_s}s"
+            )
+        job.job_id = self._next_id
+        self._next_id += 1
+        job.submit_time = self.engine.now
+        job.started = self.engine.event()
+        job.finished = self.engine.event()
+        self._pending.append(job)
+        self._history.append(job)
+        self._drive()
+        return job
+
+    def cancel(self, job: Job) -> None:
+        """Cancel a pending or running job."""
+        if job in self._pending:
+            self._pending.remove(job)
+            job.state = JobState.CANCELLED
+            job.end_time = self.engine.now
+            if job.finished is not None and not job.finished.triggered:
+                job.finished.succeed(job)
+            self._drive()
+        elif job in self._running:
+            self._finish(job, JobState.CANCELLED)
+        elif not job.is_terminal:
+            raise SubmitError(f"job {job.name!r} is not on cluster {self.name}")
+
+    # -- internals --------------------------------------------------------------
+
+    def _drive(self) -> None:
+        """Ask the scheduler what starts now, and start it."""
+        to_start = self.scheduler.select(
+            self._pending, self._running, self.free_nodes,
+            self.total_nodes, self.engine.now,
+        )
+        for job in to_start:
+            self._start(job)
+
+    def _start(self, job: Job) -> None:
+        if job.nodes > self.free_nodes:  # pragma: no cover - scheduler bug trap
+            raise RuntimeError(
+                f"scheduler over-allocated: {job.name!r} wants {job.nodes}, "
+                f"only {self.free_nodes} free"
+            )
+        self._pending.remove(job)
+        self._running.append(job)
+        job.state = JobState.RUNNING
+        job.start_time = self.engine.now
+        assert job.started is not None
+        job.started.succeed(job)
+        ends_in = min(job.runtime_s, job.walltime_s)
+        timed_out = job.runtime_s > job.walltime_s
+
+        def _complete(_event) -> None:
+            if job.state is JobState.RUNNING:
+                self._finish(
+                    job, JobState.TIMEOUT if timed_out else JobState.COMPLETED
+                )
+
+        self.engine.timeout(ends_in).add_callback(_complete)
+
+    def _finish(self, job: Job, state: JobState) -> None:
+        self._running.remove(job)
+        job.state = state
+        job.end_time = self.engine.now
+        assert job.finished is not None
+        if not job.finished.triggered:
+            job.finished.succeed(job)
+        self._drive()
+
+    # -- reporting ---------------------------------------------------------------
+
+    def utilization(self) -> float:
+        """Instantaneous node utilization in [0, 1]."""
+        return 1.0 - self.free_nodes / self.total_nodes
+
+    def queue_wait_stats(self) -> tuple[float, float]:
+        """(mean, max) queue wait over started jobs so far, in seconds."""
+        waits = [
+            j.queue_wait_s for j in self._history if j.queue_wait_s is not None
+        ]
+        if not waits:
+            return (0.0, 0.0)
+        return (sum(waits) / len(waits), max(waits))

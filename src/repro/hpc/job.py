@@ -1,0 +1,72 @@
+"""Batch jobs: the unit the cluster schedules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.simkernel import Event
+
+
+class JobState(Enum):
+    PENDING = "pending"      # submitted, waiting in queue
+    RUNNING = "running"
+    COMPLETED = "completed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"      # hit its walltime limit
+
+
+@dataclass
+class Job:
+    """A batch job request.
+
+    Attributes
+    ----------
+    job_id:
+        Assigned by the cluster at submission.
+    name:
+        Human-readable label.
+    nodes:
+        Whole nodes requested (the testbed's schedulers allocate by node).
+    walltime_s:
+        Requested limit; the scheduler kills the job at this point and the
+        backfill scheduler plans around it.
+    runtime_s:
+        The job's *actual* duration (how the simulation knows when it would
+        finish). Runtime > walltime produces a TIMEOUT.
+    user:
+        Owner label (background load vs. the xGFabric pilot).
+    """
+
+    name: str
+    nodes: int
+    walltime_s: float
+    runtime_s: float
+    user: str = "xgfabric"
+    job_id: int = -1
+    state: JobState = JobState.PENDING
+    submit_time: Optional[float] = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    started: Optional[Event] = field(default=None, repr=False)
+    finished: Optional[Event] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ValueError(f"job {self.name!r}: nodes must be positive")
+        if self.walltime_s <= 0:
+            raise ValueError(f"job {self.name!r}: walltime must be positive")
+        if self.runtime_s < 0:
+            raise ValueError(f"job {self.name!r}: negative runtime")
+
+    @property
+    def queue_wait_s(self) -> Optional[float]:
+        """Time spent pending, once started."""
+        if self.submit_time is None or self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.state in (JobState.COMPLETED, JobState.CANCELLED, JobState.TIMEOUT)

@@ -1,0 +1,142 @@
+"""Software modules and the visualization-portability logic of section 4.3.
+
+"The primary portability challenge emerged from variations in pre-installed
+software modules across the computing sites. Each HPC system provided
+different versions of OpenFOAM and ParaView with distinct dependency
+requirements ... Notre Dame and ANVIL systems utilized OpenGL-compiled
+ParaView with X.Org display servers supporting virtual framebuffer
+allocation, while Stampede3 employed Mesa-compiled ParaView. ANVIL's
+configuration presented additional constraints, lacking support for both
+virtual framebuffer and Mesa environment pass-through."
+
+:func:`resolve_render_environment` encodes the decision procedure the
+paper's scripts implement: prefer an X.Org virtual framebuffer, fall back to
+Mesa off-screen rendering, and otherwise require the SSH display-forwarding
+front-end solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+class ModuleError(Exception):
+    """Module not available / version conflict."""
+
+
+class GlStack(Enum):
+    """How a site's ParaView was compiled."""
+
+    OPENGL_XORG = "opengl-xorg"   # hardware GL + X.Org display server
+    OPENGL_BARE = "opengl-bare"   # hardware GL, no usable display machinery
+    MESA = "mesa"                 # software rendering, no display needed
+
+
+class RenderStrategy(Enum):
+    """How VTK output gets rasterized on a given site."""
+
+    XORG_FRAMEBUFFER = "xorg-virtual-framebuffer"
+    MESA_OFFSCREEN = "mesa-offscreen"
+    SSH_DISPLAY_FORWARD = "ssh-display-forward"
+
+
+@dataclass(frozen=True)
+class SoftwareModule:
+    """One entry in a site's ``module avail`` listing."""
+
+    name: str
+    version: str
+    depends_on: tuple[str, ...] = ()
+
+    @property
+    def key(self) -> str:
+        return f"{self.name}/{self.version}"
+
+
+@dataclass
+class ModuleSystem:
+    """A site's Lmod/Modules environment.
+
+    Attributes
+    ----------
+    available:
+        Modules installed at the site.
+    gl_stack:
+        The ParaView graphics configuration (drives render strategy).
+    supports_virtual_framebuffer:
+        Whether Xvfb-style allocation works (Anvil: no).
+    supports_mesa_passthrough:
+        Whether Mesa environment variables pass into batch jobs (Anvil: no).
+    """
+
+    available: list[SoftwareModule]
+    gl_stack: GlStack = GlStack.OPENGL_XORG
+    supports_virtual_framebuffer: bool = True
+    supports_mesa_passthrough: bool = True
+    _loaded: dict[str, SoftwareModule] = field(default_factory=dict)
+
+    def avail(self, name: Optional[str] = None) -> list[SoftwareModule]:
+        mods = self.available
+        if name is not None:
+            mods = [m for m in mods if m.name == name]
+        return sorted(mods, key=lambda m: (m.name, m.version))
+
+    def load(self, name: str, version: Optional[str] = None) -> SoftwareModule:
+        """Load a module (and, recursively, its dependencies).
+
+        Loading a second version of an already-loaded module is a conflict,
+        like Lmod's default behaviour.
+        """
+        candidates = self.avail(name)
+        if version is not None:
+            candidates = [m for m in candidates if m.version == version]
+        if not candidates:
+            installed = [m.key for m in self.avail(name)] or "none"
+            raise ModuleError(
+                f"module {name}{'/' + version if version else ''} not "
+                f"available (installed: {installed})"
+            )
+        module = candidates[-1]  # highest version wins, like Lmod default
+        loaded = self._loaded.get(name)
+        if loaded is not None:
+            if loaded.version != module.version:
+                raise ModuleError(
+                    f"module conflict: {loaded.key} already loaded, "
+                    f"cannot load {module.key}"
+                )
+            return loaded
+        for dep in module.depends_on:
+            dep_name, _, dep_version = dep.partition("/")
+            self.load(dep_name, dep_version or None)
+        self._loaded[name] = module
+        return module
+
+    def unload(self, name: str) -> None:
+        if name not in self._loaded:
+            raise ModuleError(f"module {name} is not loaded")
+        del self._loaded[name]
+
+    def loaded(self) -> list[str]:
+        return sorted(m.key for m in self._loaded.values())
+
+    def purge(self) -> None:
+        self._loaded.clear()
+
+
+def resolve_render_environment(modules: ModuleSystem) -> RenderStrategy:
+    """Pick the rasterization strategy a site supports.
+
+    Mirrors the paper's per-site outcomes: ND -> X.Org virtual framebuffer,
+    Stampede3 -> Mesa off-screen, Anvil -> only the SSH display-forwarding
+    front-end works.
+    """
+    if (
+        modules.gl_stack is GlStack.OPENGL_XORG
+        and modules.supports_virtual_framebuffer
+    ):
+        return RenderStrategy.XORG_FRAMEBUFFER
+    if modules.gl_stack is GlStack.MESA and modules.supports_mesa_passthrough:
+        return RenderStrategy.MESA_OFFSCREEN
+    return RenderStrategy.SSH_DISPLAY_FORWARD

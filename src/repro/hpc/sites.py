@@ -1,0 +1,84 @@
+"""Presets for the paper's three HPC facilities.
+
+Shapes are representative of the partitions the CFD runs used (64-core
+nodes everywhere -- "with 64 cores, the average total time ..."). Module
+inventories encode the section 4.3 heterogeneity:
+
+* **ND CRC** -- UGE batch system (the artifact requires "UGE as its batch
+  scheduler"); OpenGL ParaView + X.Org with virtual framebuffer.
+* **Anvil** (Purdue) -- Slurm; OpenGL ParaView but no virtual framebuffer
+  and no Mesa pass-through: only SSH display forwarding works.
+* **Stampede3** (TACC) -- Slurm; Mesa-compiled ParaView renders off-screen.
+"""
+
+from __future__ import annotations
+
+from repro.hpc.cluster import Cluster
+from repro.hpc.modules import GlStack, ModuleSystem, SoftwareModule
+from repro.hpc.site import BatchSystem, HpcSite
+from repro.simkernel import Engine
+
+
+def _common_modules(openfoam: str, paraview: str) -> list[SoftwareModule]:
+    return [
+        SoftwareModule("gcc", "12.2.0"),
+        SoftwareModule("openmpi", "4.1.5", depends_on=("gcc/12.2.0",)),
+        SoftwareModule("openfoam", openfoam, depends_on=("openmpi/4.1.5",)),
+        SoftwareModule("paraview", paraview),
+        SoftwareModule("miniconda", "24.1"),
+        SoftwareModule("python", "3.11"),
+    ]
+
+
+def nd_crc(engine: Engine, total_nodes: int = 24) -> HpcSite:
+    """Notre Dame Center for Research Computing."""
+    cluster = Cluster(
+        engine, "nd-crc", total_nodes=total_nodes, cores_per_node=64,
+        max_walltime_s=48 * 3600.0,
+    )
+    modules = ModuleSystem(
+        available=_common_modules(openfoam="v2312", paraview="5.11.2"),
+        gl_stack=GlStack.OPENGL_XORG,
+        supports_virtual_framebuffer=True,
+        supports_mesa_passthrough=False,
+    )
+    return HpcSite("nd-crc", cluster, BatchSystem.UGE, modules)
+
+
+def anvil(engine: Engine, total_nodes: int = 1000) -> HpcSite:
+    """Purdue Anvil (ACCESS)."""
+    cluster = Cluster(
+        engine, "anvil", total_nodes=total_nodes, cores_per_node=128,
+        max_walltime_s=96 * 3600.0,
+    )
+    modules = ModuleSystem(
+        available=_common_modules(openfoam="v2206", paraview="5.10.1"),
+        gl_stack=GlStack.OPENGL_BARE,
+        supports_virtual_framebuffer=False,
+        supports_mesa_passthrough=False,
+    )
+    return HpcSite("anvil", cluster, BatchSystem.SLURM, modules)
+
+
+def stampede3(engine: Engine, total_nodes: int = 560) -> HpcSite:
+    """TACC Stampede3."""
+    cluster = Cluster(
+        engine, "stampede3", total_nodes=total_nodes, cores_per_node=112,
+        max_walltime_s=48 * 3600.0,
+    )
+    modules = ModuleSystem(
+        available=_common_modules(openfoam="v2306", paraview="5.12.0"),
+        gl_stack=GlStack.MESA,
+        supports_virtual_framebuffer=False,
+        supports_mesa_passthrough=True,
+    )
+    return HpcSite("stampede3", cluster, BatchSystem.SLURM, modules)
+
+
+def all_sites(engine: Engine) -> dict[str, HpcSite]:
+    """All three facilities on one engine."""
+    return {
+        "nd-crc": nd_crc(engine),
+        "anvil": anvil(engine),
+        "stampede3": stampede3(engine),
+    }

@@ -1,0 +1,77 @@
+"""Laminar computational nodes: typed pure functions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.laminar.operand import Operand
+from repro.laminar.types import TypeError_
+
+
+@dataclass
+class LaminarNode:
+    """A dataflow node: fires when every input operand is bound.
+
+    Attributes
+    ----------
+    name:
+        Unique node name within its graph.
+    fn:
+        The embedded computation; called with input values in declared
+        order, must return the output value. "Any computation that
+        produces the same outputs from a given set of inputs ... can be
+        embedded within a Laminar computational node" -- including, in the
+        xGFabric application, an entire CFD simulation.
+    inputs:
+        Input operands, in the order ``fn`` expects them.
+    output:
+        Output operand, or None for a sink node (side-effecting boundary,
+        e.g. "trigger the HPC pilot").
+    host:
+        Placement label -- which CSPOT node executes this function. The
+        paper's change detector, for instance, can run "either within the
+        private 5G network or at UCSB in any combination".
+    compute_cost_s:
+        Simulated execution time charged by the runtime when firing.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    inputs: list[Operand]
+    output: Optional[Operand] = None
+    host: Optional[str] = None
+    compute_cost_s: float = 0.0
+    firings: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise ValueError(f"node {self.name!r} needs at least one input")
+        names = [op.name for op in self.inputs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"node {self.name!r}: duplicate input operands {names}")
+        if self.compute_cost_s < 0:
+            raise ValueError(f"negative compute cost: {self.compute_cost_s}")
+
+    def ready(self, epoch: int) -> bool:
+        """All inputs bound for ``epoch``?"""
+        return all(op.is_bound(epoch) for op in self.inputs)
+
+    def fire(self, epoch: int) -> Any:
+        """Execute the node for ``epoch``; binds and returns the output.
+
+        Strict semantics: firing before all inputs are bound is an error
+        (the runtime never does this; direct callers might).
+        """
+        if not self.ready(epoch):
+            missing = [op.name for op in self.inputs if not op.is_bound(epoch)]
+            raise TypeError_(
+                f"node {self.name!r} fired for epoch {epoch} with unbound "
+                f"inputs {missing} (strict semantics)"
+            )
+        args = [op.get(epoch) for op in self.inputs]
+        result = self.fn(*args)
+        self.firings += 1
+        if self.output is not None:
+            self.output.bind(epoch, result)
+        return result

@@ -1,0 +1,53 @@
+"""Operands: typed, single-assignment dataflow values."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.laminar.types import LaminarType, TypeError_
+
+
+@dataclass
+class Operand:
+    """A typed edge in a Laminar graph.
+
+    An operand is *single-assignment per epoch*: the runtime stores one
+    binding per execution epoch in the operand's CSPOT log, and a second
+    binding for the same epoch is an error. (Epochs are what let a static
+    graph process a stream: the paper's change detector runs once per
+    30-minute duty cycle, each run a new epoch.)
+    """
+
+    name: str
+    dtype: LaminarType
+    _bindings: dict[int, Any] = field(default_factory=dict)
+
+    def bind(self, epoch: int, value: Any) -> None:
+        """Bind ``value`` for ``epoch``; rejects rebinding and type errors."""
+        if epoch < 0:
+            raise ValueError(f"negative epoch: {epoch}")
+        self.dtype.check(value, context=f"operand {self.name!r}")
+        if epoch in self._bindings:
+            raise TypeError_(
+                f"operand {self.name!r} already bound for epoch {epoch} "
+                f"(single-assignment violated)"
+            )
+        self._bindings[epoch] = value
+
+    def is_bound(self, epoch: int) -> bool:
+        return epoch in self._bindings
+
+    def get(self, epoch: int) -> Any:
+        try:
+            return self._bindings[epoch]
+        except KeyError:
+            raise KeyError(
+                f"operand {self.name!r} not bound for epoch {epoch}"
+            ) from None
+
+    def epochs(self) -> list[int]:
+        return sorted(self._bindings)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Operand {self.name}:{self.dtype.name} epochs={len(self._bindings)}>"

@@ -1,0 +1,112 @@
+"""The three statistical difference tests used by the change detector.
+
+The paper (section 4.2): "a Laminar program reads the most recent 6
+telemetry values (covering the most recent 30 minutes) and compares them to
+the previous 30-minute period using three different tests of statistical
+difference", then "a voting algorithm to arbitrate between them".
+
+We use three tests with complementary assumptions, all via ``scipy.stats``:
+
+* **Welch's t-test** -- parametric, mean shift, unequal variances;
+* **Mann-Whitney U** -- non-parametric, location shift (rank-based);
+* **Kolmogorov-Smirnov** -- non-parametric, any distributional change.
+
+Each returns a :class:`StatTestResult` with the p-value and the boolean
+"different at level alpha" verdict the voter consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+#: Default significance level for "conditions have meaningfully changed".
+DEFAULT_ALPHA = 0.05
+
+
+@dataclass(frozen=True)
+class StatTestResult:
+    """Outcome of one statistical difference test."""
+
+    test_name: str
+    statistic: float
+    p_value: float
+    alpha: float
+
+    @property
+    def different(self) -> bool:
+        """True when the null (no change) is rejected at ``alpha``."""
+        return bool(self.p_value < self.alpha)
+
+
+def _validate(current: np.ndarray, previous: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    cur = np.asarray(current, dtype=np.float64)
+    prev = np.asarray(previous, dtype=np.float64)
+    if cur.ndim != 1 or prev.ndim != 1:
+        raise ValueError("samples must be 1-D arrays")
+    if cur.size < 2 or prev.size < 2:
+        raise ValueError(
+            f"each window needs >= 2 samples (got {cur.size} and {prev.size})"
+        )
+    if not (np.all(np.isfinite(cur)) and np.all(np.isfinite(prev))):
+        raise ValueError("samples must be finite")
+    return cur, prev
+
+
+def _degenerate(cur: np.ndarray, prev: np.ndarray) -> bool:
+    """Both windows constant: the tests below are undefined there."""
+    return bool(np.ptp(cur) == 0.0 and np.ptp(prev) == 0.0)
+
+
+def welch_t_test(
+    current, previous, alpha: float = DEFAULT_ALPHA
+) -> StatTestResult:
+    """Welch's unequal-variance t-test on the two windows."""
+    cur, prev = _validate(current, previous)
+    if _degenerate(cur, prev):
+        different = float(cur[0]) != float(prev[0])
+        return StatTestResult("welch-t", float("inf") if different else 0.0,
+                              0.0 if different else 1.0, alpha)
+    stat, p = stats.ttest_ind(cur, prev, equal_var=False)
+    return StatTestResult("welch-t", float(stat), float(p), alpha)
+
+
+def mann_whitney_test(
+    current, previous, alpha: float = DEFAULT_ALPHA
+) -> StatTestResult:
+    """Mann-Whitney U rank test on the two windows."""
+    cur, prev = _validate(current, previous)
+    if _degenerate(cur, prev):
+        different = float(cur[0]) != float(prev[0])
+        return StatTestResult("mann-whitney-u", 0.0,
+                              0.0 if different else 1.0, alpha)
+    stat, p = stats.mannwhitneyu(cur, prev, alternative="two-sided")
+    return StatTestResult("mann-whitney-u", float(stat), float(p), alpha)
+
+
+def ks_test(current, previous, alpha: float = DEFAULT_ALPHA) -> StatTestResult:
+    """Two-sample Kolmogorov-Smirnov test on the two windows."""
+    cur, prev = _validate(current, previous)
+    if _degenerate(cur, prev):
+        different = float(cur[0]) != float(prev[0])
+        return StatTestResult("kolmogorov-smirnov", 1.0 if different else 0.0,
+                              0.0 if different else 1.0, alpha)
+    stat, p = stats.ks_2samp(cur, prev)
+    return StatTestResult("kolmogorov-smirnov", float(stat), float(p), alpha)
+
+
+ALL_TESTS = (welch_t_test, mann_whitney_test, ks_test)
+
+
+def majority_vote(results: list[StatTestResult], threshold: int = 2) -> bool:
+    """The arbitration step: change is declared when at least ``threshold``
+    of the tests reject the null."""
+    if not results:
+        raise ValueError("no test results to vote on")
+    if threshold < 1 or threshold > len(results):
+        raise ValueError(
+            f"threshold {threshold} out of range 1..{len(results)}"
+        )
+    return sum(1 for r in results if r.different) >= threshold

@@ -1,0 +1,156 @@
+"""The Pilot Controller: the paper's Eqs (1)-(4), verbatim.
+
+Section 3.6's decision logic, on each incoming batch of data:
+
+1. Assess incoming data size D and choose nodes:
+       N_req = max(1, D / threshold)                              (1)
+2. Evaluate currently available nodes:
+       N_avail = sum over active pilots of nodes(p)               (2)
+3. Decide whether to submit a new pilot:
+       submit iff N_avail < N_req                                 (3)
+4. Determine pilot submission parameters:
+       nodes    = min(system nodes, N_req)                        (4)
+       runtime  = min(max system runtime, estimated task runtime)
+
+"The Pilot Controller currently initiates an initial pilot using a single
+node" -- :meth:`PilotController.bootstrap`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hpc.site import HpcSite
+from repro.pilot.pilot import Pilot, PilotState
+from repro.simkernel import Engine
+
+
+@dataclass(frozen=True)
+class ControllerDecision:
+    """Record of one controller evaluation (for tests and reporting)."""
+
+    data_size: float
+    n_req: int
+    n_avail: int
+    submitted: bool
+    pilot_nodes: int = 0
+    pilot_walltime_s: float = 0.0
+
+
+class PilotController:
+    """Dynamic pilot resource allocation over one site.
+
+    Parameters
+    ----------
+    engine / site:
+        Where pilots are placed.
+    threshold_bytes:
+        The per-node data threshold of Eq. (1).
+    task_runtime_estimate_s:
+        The "estimated task runtime" of Eq. (4); pilots are sized to hold
+        several tasks, controlled by ``walltime_factor``.
+    walltime_factor:
+        Pilot walltime = estimate x factor (a pilot that dies after one
+        task would reintroduce the queue delay on every trigger).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        site: HpcSite,
+        threshold_bytes: float,
+        task_runtime_estimate_s: float,
+        walltime_factor: float = 4.0,
+    ) -> None:
+        if threshold_bytes <= 0:
+            raise ValueError("threshold must be positive")
+        if task_runtime_estimate_s <= 0:
+            raise ValueError("task runtime estimate must be positive")
+        if walltime_factor < 1.0:
+            raise ValueError("walltime_factor must be >= 1")
+        self.engine = engine
+        self.site = site
+        self.threshold_bytes = threshold_bytes
+        self.task_runtime_estimate_s = task_runtime_estimate_s
+        self.walltime_factor = walltime_factor
+        self.pilots: list[Pilot] = []
+        self.decisions: list[ControllerDecision] = []
+
+    # -- Eq (1) ---------------------------------------------------------------
+
+    def nodes_required(self, data_size_bytes: float) -> int:
+        if data_size_bytes < 0:
+            raise ValueError(f"negative data size: {data_size_bytes}")
+        return max(1, math.ceil(data_size_bytes / self.threshold_bytes))
+
+    # -- Eq (2) ---------------------------------------------------------------
+
+    def nodes_available(self) -> int:
+        return sum(
+            p.nodes
+            for p in self.pilots
+            if p.state in (PilotState.SUBMITTED, PilotState.ACTIVE)
+        )
+
+    # -- Eqs (3)+(4) -------------------------------------------------------------
+
+    def on_data(self, data_size_bytes: float) -> ControllerDecision:
+        """Evaluate the decision logic for an incoming data batch.
+
+        Returns the decision record; when Eq. (3) says submit, the new pilot
+        has been submitted as a side effect.
+        """
+        n_req = self.nodes_required(data_size_bytes)
+        n_avail = self.nodes_available()
+        if n_avail >= n_req:
+            decision = ControllerDecision(
+                data_size=data_size_bytes, n_req=n_req, n_avail=n_avail,
+                submitted=False,
+            )
+            self.decisions.append(decision)
+            return decision
+        nodes = min(self.site.cluster.total_nodes, n_req)
+        walltime = min(
+            self.site.cluster.max_walltime_s,
+            self.task_runtime_estimate_s * self.walltime_factor,
+        )
+        pilot = Pilot(
+            self.engine, self.site, nodes=nodes, walltime_s=walltime
+        ).submit()
+        self.pilots.append(pilot)
+        decision = ControllerDecision(
+            data_size=data_size_bytes, n_req=n_req, n_avail=n_avail,
+            submitted=True, pilot_nodes=nodes, pilot_walltime_s=walltime,
+        )
+        self.decisions.append(decision)
+        return decision
+
+    def bootstrap(self) -> Pilot:
+        """Submit the initial single-node pilot the paper describes."""
+        walltime = min(
+            self.site.cluster.max_walltime_s,
+            self.task_runtime_estimate_s * self.walltime_factor,
+        )
+        pilot = Pilot(self.engine, self.site, nodes=1, walltime_s=walltime).submit()
+        self.pilots.append(pilot)
+        return pilot
+
+    def best_pilot_for(self, nodes: int) -> Optional[Pilot]:
+        """The active pilot with enough capacity, preferring tightest fit."""
+        candidates = [
+            p for p in self.pilots if p.is_active and p.nodes >= nodes
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda p: (p.nodes, -p.remaining_walltime_s()))
+
+    def retire_finished(self) -> int:
+        """Drop terminal pilots from the active list; returns count dropped."""
+        before = len(self.pilots)
+        self.pilots = [
+            p for p in self.pilots
+            if p.state not in (PilotState.DONE, PilotState.FAILED)
+        ]
+        return before - len(self.pilots)

@@ -1,0 +1,178 @@
+"""The pilot: a placeholder batch job hosting an in-situ task agent.
+
+"The Pilot controller ... is designed to sidestep [queue delay] by
+submitting a pilot placeholder in advance, and then 'activating' the pilot
+as needed to achieve real-time response" (section 4.4). Tasks submitted to
+an active pilot start immediately on its nodes -- no batch queue -- which is
+the entire point.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Generator, Optional
+
+from repro.hpc.job import Job, JobState
+from repro.hpc.site import HpcSite
+from repro.pilot.task import Task, TaskState
+from repro.simkernel import Engine, Event, Resource
+
+
+class PilotState(Enum):
+    NEW = "new"
+    SUBMITTED = "submitted"   # placeholder job queued
+    ACTIVE = "active"         # job running; agent accepting tasks
+    DONE = "done"             # walltime exhausted or cancelled
+    FAILED = "failed"
+
+
+class Pilot:
+    """A pilot job on one site.
+
+    Parameters
+    ----------
+    engine / site:
+        Where the pilot runs.
+    nodes:
+        Whole nodes the placeholder job requests.
+    walltime_s:
+        Pilot lifetime once started.
+    name:
+        Label.
+    """
+
+    _counter = 0
+
+    def __init__(
+        self,
+        engine: Engine,
+        site: HpcSite,
+        nodes: int,
+        walltime_s: float,
+        name: Optional[str] = None,
+    ) -> None:
+        if nodes <= 0:
+            raise ValueError("pilot needs at least one node")
+        Pilot._counter += 1
+        self.engine = engine
+        self.site = site
+        self.nodes = nodes
+        self.walltime_s = walltime_s
+        self.name = name or f"pilot-{Pilot._counter}"
+        self.state = PilotState.NEW
+        self.job: Optional[Job] = None
+        self.active: Event = engine.event()
+        self.finished: Event = engine.event()
+        self._node_pool: Optional[Resource] = None
+        self.tasks_run = 0
+        self.busy_node_seconds = 0.0
+        self.submit_time: Optional[float] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def submit(self) -> "Pilot":
+        """Submit the placeholder job to the site's batch queue."""
+        if self.state is not PilotState.NEW:
+            raise RuntimeError(f"pilot {self.name!r} already submitted")
+        self.job = Job(
+            name=self.name,
+            nodes=self.nodes,
+            walltime_s=self.walltime_s,
+            # The placeholder occupies its nodes for the full walltime; the
+            # agent inside decides what actually runs.
+            runtime_s=self.walltime_s,
+            user="xgfabric-pilot",
+        )
+        self.site.submit(self.job)
+        self.state = PilotState.SUBMITTED
+        self.submit_time = self.engine.now
+        self.job.started.add_callback(self._on_started)
+        self.job.finished.add_callback(self._on_finished)
+        return self
+
+    def cancel(self) -> None:
+        """Cancel the placeholder (releasing queued or held nodes)."""
+        if self.job is not None and not self.job.is_terminal:
+            self.site.cluster.cancel(self.job)
+
+    def _on_started(self, _event) -> None:
+        self.state = PilotState.ACTIVE
+        self._node_pool = Resource(self.engine, capacity=self.nodes)
+        self.active.succeed(self)
+
+    def _on_finished(self, _event) -> None:
+        if self.state is not PilotState.FAILED:
+            self.state = PilotState.DONE
+        if not self.finished.triggered:
+            self.finished.succeed(self)
+
+    # -- agent ------------------------------------------------------------------
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is PilotState.ACTIVE and self.job is not None and (
+            self.job.state is JobState.RUNNING
+        )
+
+    @property
+    def queue_wait_s(self) -> Optional[float]:
+        return self.job.queue_wait_s if self.job is not None else None
+
+    def remaining_walltime_s(self) -> float:
+        if not self.is_active or self.job is None or self.job.start_time is None:
+            return 0.0
+        return max(0.0, self.job.start_time + self.walltime_s - self.engine.now)
+
+    def run_task(self, task: Task):
+        """Execute a task on this pilot's nodes; returns a process yielding
+        the task result. Tasks queue on the pilot's internal node pool (no
+        batch system involved)."""
+        if task.nodes > self.nodes:
+            raise ValueError(
+                f"task {task.name!r} wants {task.nodes} nodes; pilot "
+                f"{self.name!r} has {self.nodes}"
+            )
+        task.done = self.engine.event()
+        return self.engine.process(
+            self._task_body(task), name=f"{self.name}:{task.name}"
+        )
+
+    def _task_body(self, task: Task) -> Generator:
+        if not self.is_active:
+            # Wait for activation (the batch queue) before doing anything.
+            yield self.active
+        assert self._node_pool is not None
+        grant = self._node_pool.request(task.nodes)
+        yield grant
+        try:
+            duration = task.duration_on(task.nodes, self.site.cluster.cores_per_node)
+            if duration > self.remaining_walltime_s():
+                task.state = TaskState.FAILED
+                raise RuntimeError(
+                    f"task {task.name!r} needs {duration:.0f}s but pilot "
+                    f"{self.name!r} has {self.remaining_walltime_s():.0f}s left"
+                )
+            task.state = TaskState.RUNNING
+            task.start_time = self.engine.now
+            yield self.engine.timeout(duration)
+            if task.fn is not None:
+                task.result = task.fn()
+            task.state = TaskState.DONE
+            task.end_time = self.engine.now
+            self.tasks_run += 1
+            self.busy_node_seconds += duration * task.nodes
+            assert task.done is not None
+            task.done.succeed(task.result)
+            return task.result
+        finally:
+            self._node_pool.release(task.nodes)
+
+    # -- accounting -------------------------------------------------------------
+
+    def idle_node_seconds(self) -> float:
+        """Node-seconds held but not used by tasks, so far."""
+        if self.job is None or self.job.start_time is None:
+            return 0.0
+        end = self.job.end_time if self.job.end_time is not None else self.engine.now
+        held = (end - self.job.start_time) * self.nodes
+        return max(0.0, held - self.busy_node_seconds)

@@ -1,0 +1,167 @@
+"""Pilot submission strategies: on-demand, proactive, reactive.
+
+The paper's future work (section 3.6): "we plan to explore proactive
+(starting pilots early) and reactive (starting pilots on-time) strategies
+... Proactive pilots reduce latency but may incur idle resource overhead,
+while reactive pilots minimize idle resources but can introduce startup
+delays." Built here as an extension and ablated in
+``benchmarks/test_e2e_performance.py``.
+
+All three strategies answer the same interface: ``handle_trigger(task)``
+returns a process yielding the task result; :class:`StrategyStats` captures
+the latency/idle-cost trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.hpc.site import HpcSite
+from repro.pilot.pilot import Pilot
+from repro.pilot.task import Task
+from repro.simkernel import Engine
+
+
+@dataclass
+class StrategyStats:
+    """The latency vs. idle-cost trade-off, per strategy."""
+
+    triggers: int = 0
+    total_response_s: float = 0.0   # trigger -> task completion
+    total_idle_node_s: float = 0.0  # pilot nodes held without task work
+
+    @property
+    def mean_response_s(self) -> float:
+        return self.total_response_s / self.triggers if self.triggers else 0.0
+
+
+class _StrategyBase:
+    def __init__(
+        self,
+        engine: Engine,
+        site: HpcSite,
+        pilot_nodes: int,
+        pilot_walltime_s: float,
+    ) -> None:
+        if pilot_nodes <= 0 or pilot_walltime_s <= 0:
+            raise ValueError("pilot shape must be positive")
+        self.engine = engine
+        self.site = site
+        self.pilot_nodes = pilot_nodes
+        self.pilot_walltime_s = pilot_walltime_s
+        self.stats = StrategyStats()
+        self.pilots: list[Pilot] = []
+
+    def _new_pilot(self) -> Pilot:
+        pilot = Pilot(
+            self.engine, self.site,
+            nodes=self.pilot_nodes, walltime_s=self.pilot_walltime_s,
+        ).submit()
+        self.pilots.append(pilot)
+        return pilot
+
+    def _usable_pilot(self, needed_s: float) -> Optional[Pilot]:
+        for pilot in self.pilots:
+            if pilot.is_active and pilot.remaining_walltime_s() >= needed_s:
+                return pilot
+            if pilot.state.value == "submitted":
+                return pilot  # queued placeholder will activate
+        return None
+
+    def handle_trigger(self, task: Task):
+        """Run ``task`` under this strategy; returns a result process."""
+        self.stats.triggers += 1
+        return self.engine.process(
+            self._trigger_body(task), name=f"{type(self).__name__}:{task.name}"
+        )
+
+    def _trigger_body(self, task: Task) -> Generator:
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def finalize(self) -> StrategyStats:
+        """Cancel live pilots and tally idle cost."""
+        for pilot in self.pilots:
+            self.stats.total_idle_node_s += pilot.idle_node_seconds()
+            pilot.cancel()
+        return self.stats
+
+
+class OnDemandStrategy(_StrategyBase):
+    """The prototype's behaviour: keep a pilot around, submit one when the
+    current one is missing or about to expire. First trigger pays the queue
+    delay; later triggers reuse the warm pilot."""
+
+    def _trigger_body(self, task: Task) -> Generator:
+        start = self.engine.now
+        needed = task.duration_on(task.nodes, self.site.cluster.cores_per_node)
+        pilot = self._usable_pilot(needed_s=needed * 1.5)
+        if pilot is None:
+            pilot = self._new_pilot()
+        result = yield pilot.run_task(task)
+        self.stats.total_response_s += self.engine.now - start
+        return result
+
+
+class ReactiveStrategy(_StrategyBase):
+    """Submit a fresh pilot at each trigger and cancel it after the task:
+    zero idle nodes, full queue delay on every trigger."""
+
+    def _trigger_body(self, task: Task) -> Generator:
+        start = self.engine.now
+        pilot = self._new_pilot()
+        result = yield pilot.run_task(task)
+        self.stats.total_idle_node_s += pilot.idle_node_seconds()
+        self.pilots.remove(pilot)
+        pilot.cancel()
+        self.stats.total_response_s += self.engine.now - start
+        return result
+
+
+class ProactiveStrategy(_StrategyBase):
+    """Keep a warm pilot at all times, renewing before expiry: minimal
+    latency, maximal idle-node cost.
+
+    ``start()`` must be called once to begin the keep-warm loop.
+    """
+
+    def __init__(self, *args, renew_margin_s: float = 600.0, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if renew_margin_s < 0:
+            raise ValueError("negative renew margin")
+        self.renew_margin_s = renew_margin_s
+        self._running = False
+
+    def start(self, horizon_s: float) -> None:
+        """Run the keep-warm loop for ``horizon_s`` of simulated time."""
+        if self._running:
+            raise RuntimeError("keep-warm loop already started")
+        self._running = True
+        self.engine.process(self._keep_warm(horizon_s), name="proactive-keep-warm")
+
+    def _keep_warm(self, horizon_s: float) -> Generator:
+        end = self.engine.now + horizon_s
+        self._new_pilot()
+        while self.engine.now < end:
+            # Renew when the freshest pilot nears expiry.
+            live = [p for p in self.pilots if not p.finished.triggered]
+            margin = max(
+                (p.remaining_walltime_s() for p in live if p.is_active),
+                default=0.0,
+            )
+            if not live or margin < self.renew_margin_s:
+                self._new_pilot()
+            yield self.engine.timeout(
+                max(60.0, margin - self.renew_margin_s / 2)
+            )
+
+    def _trigger_body(self, task: Task) -> Generator:
+        start = self.engine.now
+        needed = task.duration_on(task.nodes, self.site.cluster.cores_per_node)
+        pilot = self._usable_pilot(needed_s=needed)
+        if pilot is None:
+            pilot = self._new_pilot()  # keep-warm fell behind: degrade gracefully
+        result = yield pilot.run_task(task)
+        self.stats.total_response_s += self.engine.now - start
+        return result

@@ -1,0 +1,61 @@
+"""Application tasks executed inside pilots."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional
+
+from repro.simkernel import Event
+
+
+class TaskState(Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Task:
+    """One unit of work for a pilot agent.
+
+    Attributes
+    ----------
+    name:
+        Label, e.g. ``"cfd-epoch-12"``.
+    nodes:
+        Whole nodes the task occupies within the pilot.
+    runtime_s:
+        Simulated execution time. May also be supplied by ``runtime_fn``
+        at start time (e.g. the CFD performance model evaluated for the
+        node count actually granted).
+    fn:
+        Optional Python payload executed (for real) when the task runs;
+        its return value becomes the task result.
+    runtime_fn:
+        Optional ``(nodes, cores_per_node) -> seconds`` override.
+    """
+
+    name: str
+    nodes: int = 1
+    runtime_s: float = 0.0
+    fn: Optional[Callable[[], Any]] = None
+    runtime_fn: Optional[Callable[[int, int], float]] = None
+    state: TaskState = TaskState.PENDING
+    result: Any = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    done: Optional[Event] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.nodes <= 0:
+            raise ValueError(f"task {self.name!r}: nodes must be positive")
+        if self.runtime_s < 0:
+            raise ValueError(f"task {self.name!r}: negative runtime")
+
+    def duration_on(self, nodes: int, cores_per_node: int) -> float:
+        """Simulated duration given the resources actually granted."""
+        if self.runtime_fn is not None:
+            return float(self.runtime_fn(nodes, cores_per_node))
+        return self.runtime_s

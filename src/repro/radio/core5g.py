@@ -1,0 +1,192 @@
+"""Standalone 5G core network (Open5GS substitute).
+
+Implements the control- and user-plane state machines the evaluation
+exercises: subscriber authentication (AMF+AUSF/UDM roles, backed by the
+:class:`~repro.radio.sim_cards.SimProvisioner` subscriber database), PDU
+session establishment with slice binding (SMF role), and user-plane byte
+accounting per session (UPF role). Mobility and policy are reduced to the
+pieces xGFabric touches: a UE registers, opens one session on one slice, and
+pushes uplink bytes through it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.radio.sim_cards import AuthenticationError, SimCard, SimProvisioner
+
+
+class RegistrationError(Exception):
+    """UE registration rejected (auth failure, duplicate registration...)."""
+
+
+class SessionError(Exception):
+    """PDU session operation rejected."""
+
+
+class UeState(Enum):
+    DEREGISTERED = "deregistered"
+    REGISTERED = "registered"
+
+
+@dataclass
+class PduSession:
+    """An established PDU session (the user-plane tunnel through the UPF)."""
+
+    session_id: int
+    imsi: str
+    slice_name: str
+    ue_address: str
+    uplink_bytes: int = 0
+    downlink_bytes: int = 0
+    active: bool = True
+
+
+@dataclass
+class _Registration:
+    imsi: str
+    state: UeState = UeState.REGISTERED
+    sessions: dict[int, PduSession] = field(default_factory=dict)
+
+
+class Core5G:
+    """A standalone 5G core: registration, sessions, user-plane accounting.
+
+    Parameters
+    ----------
+    provisioner:
+        The subscriber database (shared with the SIM provisioning flow).
+    slice_names:
+        S-NSSAI-like slice identifiers sessions may bind to. The default
+        single slice mirrors an unsliced deployment.
+    ue_subnet_prefix:
+        First three octets of the UE address pool (Open5GS's ``ogstun``
+        convention).
+    """
+
+    def __init__(
+        self,
+        provisioner: SimProvisioner,
+        slice_names: tuple[str, ...] = ("default",),
+        ue_subnet_prefix: str = "10.45.0",
+    ) -> None:
+        if not slice_names:
+            raise ValueError("at least one slice is required")
+        self.provisioner = provisioner
+        self.slice_names = tuple(slice_names)
+        self.ue_subnet_prefix = ue_subnet_prefix
+        self._registrations: dict[str, _Registration] = {}
+        self._next_session_id = 1
+        self._next_host = 2  # .1 is the UPF gateway
+        self._auth_counter = 0
+
+    # -- registration (AMF/AUSF) ------------------------------------------------
+
+    def authenticate(self, card: SimCard) -> None:
+        """Run the AKA challenge-response against the subscriber database."""
+        # Deterministic challenge: unique per attempt, reproducible per run.
+        self._auth_counter += 1
+        rand = hashlib.sha256(
+            f"rand:{card.imsi}:{self._auth_counter}".encode()
+        ).digest()[:16]
+        res = card.response(rand)
+        self.provisioner.verify(card.imsi, rand, res)
+
+    def register(self, card: SimCard) -> str:
+        """Register a UE; returns the IMSI on success.
+
+        Re-registration of an already-registered IMSI is idempotent (the
+        testbed's UEs re-attach after link drops).
+        """
+        try:
+            self.authenticate(card)
+        except AuthenticationError as exc:
+            raise RegistrationError(str(exc)) from exc
+        reg = self._registrations.get(card.imsi)
+        if reg is None:
+            self._registrations[card.imsi] = _Registration(imsi=card.imsi)
+        else:
+            reg.state = UeState.REGISTERED
+        return card.imsi
+
+    def deregister(self, imsi: str) -> None:
+        """Deregister a UE, tearing down its sessions."""
+        reg = self._require_registered(imsi)
+        for session in reg.sessions.values():
+            session.active = False
+        reg.sessions.clear()
+        reg.state = UeState.DEREGISTERED
+
+    def is_registered(self, imsi: str) -> bool:
+        reg = self._registrations.get(imsi)
+        return reg is not None and reg.state is UeState.REGISTERED
+
+    # -- sessions (SMF) ----------------------------------------------------------
+
+    def establish_session(
+        self, imsi: str, slice_name: Optional[str] = None
+    ) -> PduSession:
+        """Establish a PDU session bound to ``slice_name``."""
+        reg = self._require_registered(imsi)
+        chosen = slice_name or self.slice_names[0]
+        if chosen not in self.slice_names:
+            raise SessionError(
+                f"slice {chosen!r} not configured (have {list(self.slice_names)})"
+            )
+        session = PduSession(
+            session_id=self._next_session_id,
+            imsi=imsi,
+            slice_name=chosen,
+            ue_address=f"{self.ue_subnet_prefix}.{self._next_host}",
+        )
+        self._next_session_id += 1
+        self._next_host += 1
+        reg.sessions[session.session_id] = session
+        return session
+
+    def release_session(self, imsi: str, session_id: int) -> None:
+        reg = self._require_registered(imsi)
+        session = reg.sessions.pop(session_id, None)
+        if session is None:
+            raise SessionError(f"no session {session_id} for IMSI {imsi}")
+        session.active = False
+
+    def sessions_for(self, imsi: str) -> list[PduSession]:
+        reg = self._registrations.get(imsi)
+        return list(reg.sessions.values()) if reg else []
+
+    # -- user plane (UPF) ----------------------------------------------------------
+
+    def route_uplink(self, session: PduSession, n_bytes: int) -> None:
+        """Account uplink bytes through the UPF for an active session."""
+        if not session.active:
+            raise SessionError(f"session {session.session_id} is not active")
+        if n_bytes < 0:
+            raise ValueError(f"negative byte count: {n_bytes}")
+        session.uplink_bytes += n_bytes
+
+    def route_downlink(self, session: PduSession, n_bytes: int) -> None:
+        if not session.active:
+            raise SessionError(f"session {session.session_id} is not active")
+        if n_bytes < 0:
+            raise ValueError(f"negative byte count: {n_bytes}")
+        session.downlink_bytes += n_bytes
+
+    def total_uplink_bytes(self) -> int:
+        """Aggregate uplink bytes across all registrations and sessions."""
+        return sum(
+            s.uplink_bytes
+            for reg in self._registrations.values()
+            for s in reg.sessions.values()
+        )
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _require_registered(self, imsi: str) -> _Registration:
+        reg = self._registrations.get(imsi)
+        if reg is None or reg.state is not UeState.REGISTERED:
+            raise RegistrationError(f"IMSI {imsi} is not registered")
+        return reg

@@ -1,0 +1,124 @@
+"""User-equipment host device models (laptop, Raspberry Pi, smartphone).
+
+The host contributes processing/attachment constraints on top of the modem:
+USB bus generation and power delivery, driver stack efficiency, and thermal
+behaviour. These are what separate the three device curves in Figs. 4-5.
+
+Calibration (documented in :mod:`repro.radio.presets`) encodes each host's
+per-mode *efficiency* (realized fraction of granted PHY rate) and *cap*
+(hard ceiling), plus per-modem attachment caps for the pathological
+SIM7600G-H USB-2 dongle cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.radio.duplex import DuplexMode
+from repro.radio.modems import Modem
+
+_UNLIMITED = float("inf")
+
+
+class DeviceClass(Enum):
+    LAPTOP = "laptop"
+    RASPBERRY_PI = "raspberry-pi"
+    SMARTPHONE = "smartphone"
+
+
+def _key(technology: str, duplex: DuplexMode) -> str:
+    return f"{technology.lower()}-{duplex.value}"
+
+
+@dataclass(frozen=True)
+class Device:
+    """A UE host device.
+
+    Attributes
+    ----------
+    name:
+        Human-readable model.
+    device_class:
+        Laptop / Raspberry Pi / smartphone.
+    efficiency_by_mode:
+        Realized fraction of the granted PHY rate, per ``"nr-tdd"``-style key.
+    uplink_cap_by_mode:
+        Host-side hard uplink ceiling per mode (bits/s).
+    modem_attach_caps:
+        Hard caps keyed by modem name, for attachments whose USB/power
+        combination dominates (e.g. SIM7600G-H on a Raspberry Pi).
+    usb_generation:
+        Highest USB generation the host offers to an external modem.
+    """
+
+    name: str
+    device_class: DeviceClass
+    efficiency_by_mode: dict[str, float] = field(default_factory=dict)
+    uplink_cap_by_mode: dict[str, float] = field(default_factory=dict)
+    modem_attach_caps: dict[str, float] = field(default_factory=dict)
+    usb_generation: int = 3
+
+    def __post_init__(self) -> None:
+        for mode, eff in self.efficiency_by_mode.items():
+            if not 0.0 < eff <= 1.0:
+                raise ValueError(f"{self.name}: efficiency for {mode} out of (0,1]: {eff}")
+        if self.usb_generation not in (2, 3):
+            raise ValueError(f"usb_generation must be 2 or 3: {self.usb_generation}")
+
+    def efficiency(self, technology: str, duplex: DuplexMode) -> float:
+        return self.efficiency_by_mode.get(_key(technology, duplex), 0.9)
+
+    def uplink_cap_bps(self, technology: str, duplex: DuplexMode) -> float:
+        return self.uplink_cap_by_mode.get(_key(technology, duplex), _UNLIMITED)
+
+    def attach_cap_bps(self, modem: Modem) -> float:
+        """Hard cap imposed by this host's attachment of ``modem``."""
+        return self.modem_attach_caps.get(modem.name, _UNLIMITED)
+
+
+# ---------------------------------------------------------------------------
+# Presets. Efficiency/cap values are calibrated so single-user uplink lands
+# on the paper's Fig. 4 anchors; see presets.py for the anchor table.
+# ---------------------------------------------------------------------------
+
+LAPTOP = Device(
+    name="laptop",
+    device_class=DeviceClass.LAPTOP,
+    efficiency_by_mode={"lte-fdd": 1.0, "nr-fdd": 0.80, "nr-tdd": 0.86},
+    uplink_cap_by_mode={"nr-fdd": 41.0e6},
+    # SIM7600G-H over the laptop's USB stack plateaus near 10.5 Mbps uplink.
+    modem_attach_caps={"SIM7600G-H": 10.5e6},
+    usb_generation=3,
+)
+
+RASPBERRY_PI = Device(
+    name="raspberry-pi-4",
+    device_class=DeviceClass.RASPBERRY_PI,
+    efficiency_by_mode={"lte-fdd": 1.0, "nr-fdd": 0.78, "nr-tdd": 0.97},
+    uplink_cap_by_mode={},
+    # The RPi's shared USB2 bus + power budget strangles the 4G dongle.
+    modem_attach_caps={"SIM7600G-H": 2.3e6},
+    usb_generation=3,
+)
+
+#: The development network's UEs are Raspberry Pi 5 units: faster host,
+#: PCIe-attached USB3 controller, so slightly better NR efficiency than
+#: the production RPi4s.
+RASPBERRY_PI_5 = Device(
+    name="raspberry-pi-5",
+    device_class=DeviceClass.RASPBERRY_PI,
+    efficiency_by_mode={"lte-fdd": 1.0, "nr-fdd": 0.82, "nr-tdd": 0.97},
+    uplink_cap_by_mode={},
+    modem_attach_caps={"SIM7600G-H": 3.0e6},
+    usb_generation=3,
+)
+
+SMARTPHONE = Device(
+    name="pixel-6a",
+    device_class=DeviceClass.SMARTPHONE,
+    efficiency_by_mode={"lte-fdd": 0.91, "nr-fdd": 0.85, "nr-tdd": 0.90},
+    uplink_cap_by_mode={},
+    modem_attach_caps={},
+    usb_generation=3,
+)

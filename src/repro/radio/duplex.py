@@ -1,0 +1,77 @@
+"""Duplexing modes and TDD slot patterns.
+
+FDD dedicates a full carrier to uplink, so the uplink fraction is 1. TDD
+time-shares one carrier between downlink (D), uplink (U) and special (S)
+slots; the xGFabric testbed runs an uplink-heavy pattern because the sensor
+workload is uplink-dominated. The uplink fraction is what makes 5G TDD need
+40-50 MHz of bandwidth before it overtakes 5G FDD at 20 MHz in Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class DuplexMode(Enum):
+    """Frequency-division vs. time-division duplexing."""
+
+    FDD = "fdd"
+    TDD = "tdd"
+
+
+@dataclass(frozen=True)
+class TddPattern:
+    """A repeating TDD slot pattern.
+
+    Attributes
+    ----------
+    pattern:
+        String of slot types, e.g. ``"DDSUU"``; ``D`` = downlink,
+        ``U`` = uplink, ``S`` = special (partially usable for uplink).
+    special_uplink_share:
+        Fraction of a special slot's symbols usable for uplink data
+        (the rest is guard period + downlink pilot).
+    """
+
+    pattern: str
+    special_uplink_share: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not self.pattern:
+            raise ValueError("empty TDD pattern")
+        bad = set(self.pattern.upper()) - set("DUS")
+        if bad:
+            raise ValueError(f"invalid slot types in TDD pattern: {sorted(bad)}")
+        if not 0.0 <= self.special_uplink_share <= 1.0:
+            raise ValueError(
+                f"special_uplink_share out of [0,1]: {self.special_uplink_share}"
+            )
+        object.__setattr__(self, "pattern", self.pattern.upper())
+
+    @property
+    def uplink_fraction(self) -> float:
+        """Fraction of slot capacity available for uplink data."""
+        total = len(self.pattern)
+        ul = self.pattern.count("U") + self.special_uplink_share * self.pattern.count("S")
+        return ul / total
+
+    @property
+    def downlink_fraction(self) -> float:
+        total = len(self.pattern)
+        dl = self.pattern.count("D") + (1.0 - self.special_uplink_share) * 0.5 * self.pattern.count("S")
+        return dl / total
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.pattern
+
+
+#: Placeholder pattern used by FDD carriers (uplink_fraction == 1 by mode).
+FDD_FULL_UPLINK = TddPattern("U")
+
+#: The uplink-heavy pattern used by the testbed's 5G TDD cell. Two uplink
+#: slots plus a quarter of the special slot out of five -> 45 % uplink.
+TDD_UL_HEAVY = TddPattern("DDSUU", special_uplink_share=0.25)
+
+#: A conventional downlink-heavy eMBB pattern, for comparison experiments.
+TDD_DL_HEAVY = TddPattern("DDDSU", special_uplink_share=0.25)

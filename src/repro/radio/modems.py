@@ -1,0 +1,123 @@
+"""Cellular modem models.
+
+The paper's device-type differences (Fig. 4/5) are dominated by the modem and
+its host attachment: the SIM7600G-H 4G USB modem bottlenecks hard (and
+differently on a laptop vs. a Raspberry Pi), the RM530N-GL 5G modem is
+comfortable at the tested bandwidths, and the Pixel 6a's internal modem is
+excellent on 4G/5G FDD but underperforms badly on the private network's TDD
+uplink configuration (14.4 Mbps at 50 MHz vs. the RPi's 66).
+
+A modem contributes two things to the throughput pipeline:
+
+* ``efficiency(technology, duplex)`` -- a multiplicative factor on the PHY
+  share actually realized (protocol/implementation efficiency), and
+* ``uplink_cap_bps(technology, duplex)`` -- a hard ceiling (category limit,
+  USB attachment, band support).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.radio.duplex import DuplexMode
+
+_UNLIMITED = float("inf")
+
+
+def _key(technology: str, duplex: DuplexMode) -> str:
+    return f"{technology.lower()}-{duplex.value}"
+
+
+@dataclass(frozen=True)
+class Modem:
+    """A cellular modem with per-(technology, duplex) behaviour.
+
+    Attributes
+    ----------
+    name:
+        Marketing name (e.g. ``"RM530N-GL"``).
+    supported:
+        Set of ``"lte-fdd"``-style keys the modem can attach on.
+    efficiency_by_mode:
+        Realized fraction of the granted PHY share, per mode key. Captures
+        implementation quality, HARQ/BLER operating point, and power class.
+    uplink_cap_by_mode:
+        Hard uplink ceiling (bits/s) per mode key; ``inf`` when the modem is
+        not the bottleneck.
+    usb_generation:
+        2 or 3; interacts with the host device's USB capability.
+    """
+
+    name: str
+    supported: frozenset[str]
+    efficiency_by_mode: dict[str, float] = field(default_factory=dict)
+    uplink_cap_by_mode: dict[str, float] = field(default_factory=dict)
+    usb_generation: int = 3
+
+    def __post_init__(self) -> None:
+        for mode, eff in self.efficiency_by_mode.items():
+            if not 0.0 < eff <= 1.0:
+                raise ValueError(f"{self.name}: efficiency for {mode} out of (0,1]: {eff}")
+        if self.usb_generation not in (2, 3):
+            raise ValueError(f"usb_generation must be 2 or 3, got {self.usb_generation}")
+
+    def supports(self, technology: str, duplex: DuplexMode) -> bool:
+        return _key(technology, duplex) in self.supported
+
+    def efficiency(self, technology: str, duplex: DuplexMode) -> float:
+        """Realized fraction of the granted PHY rate."""
+        self._check(technology, duplex)
+        return self.efficiency_by_mode.get(_key(technology, duplex), 0.9)
+
+    def uplink_cap_bps(self, technology: str, duplex: DuplexMode) -> float:
+        """Hard uplink throughput ceiling in bits/s."""
+        self._check(technology, duplex)
+        return self.uplink_cap_by_mode.get(_key(technology, duplex), _UNLIMITED)
+
+    def _check(self, technology: str, duplex: DuplexMode) -> None:
+        if not self.supports(technology, duplex):
+            raise ValueError(
+                f"modem {self.name} does not support {technology}/{duplex.value}"
+            )
+
+
+#: Waveshare SIM7600G-H LTE cat-4 USB dongle. Its uplink is officially
+#: 50 Mbps (cat-4) but through the USB CDC stack it sustains far less; the
+#: paper's laptop plateaus near 10-11 Mbps past 10 MHz and the RPi (USB2 +
+#: power constraints) near 2.2 Mbps (Fig. 4, 4G panels).
+SIM7600G_H = Modem(
+    name="SIM7600G-H",
+    supported=frozenset({"lte-fdd"}),
+    efficiency_by_mode={"lte-fdd": 0.82},
+    uplink_cap_by_mode={"lte-fdd": 22e6},
+    usb_generation=2,
+)
+
+#: Quectel RM530N-GL 5G (3GPP rel-16) modem; not a bottleneck at the tested
+#: bandwidths on a capable host.
+RM530N_GL = Modem(
+    name="RM530N-GL",
+    supported=frozenset({"nr-fdd", "nr-tdd", "lte-fdd"}),
+    efficiency_by_mode={"nr-fdd": 0.97, "nr-tdd": 0.97, "lte-fdd": 0.95},
+    uplink_cap_by_mode={},
+    usb_generation=3,
+)
+
+#: A flagship phone's integrated 4G modem: best-in-class LTE uplink.
+PHONE_4G_INTERNAL = Modem(
+    name="phone-internal-4g",
+    supported=frozenset({"lte-fdd"}),
+    efficiency_by_mode={"lte-fdd": 1.0},
+    uplink_cap_by_mode={},
+)
+
+#: The Pixel 6a's integrated 5G modem: strong on FDD, but its uplink on the
+#: private network's n78-style TDD configuration is crippled (single TX
+#: chain / power class on that band combination) -- the paper measures
+#: 14.4 Mbps at 50 MHz where the RPi reaches 66 (Fig. 4, 5G TDD panel).
+PHONE_5G_INTERNAL = Modem(
+    name="phone-internal-5g",
+    supported=frozenset({"nr-fdd", "nr-tdd", "lte-fdd"}),
+    efficiency_by_mode={"nr-fdd": 1.0, "nr-tdd": 0.95, "lte-fdd": 1.0},
+    uplink_cap_by_mode={"nr-tdd": 15e6},
+)

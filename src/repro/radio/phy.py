@@ -1,0 +1,212 @@
+"""Physical-layer model: numerology, PRB grids, spectral efficiency.
+
+The quantities here determine the deterministic part of uplink throughput:
+
+    bits/s = PRBs x 12 subcarriers x 14 symbols/slot x slots/s
+             x bits-per-RE(MCS) x (1 - overhead) x uplink fraction
+
+which is exactly the budget that governs the paper's Figures 4-6 (throughput
+vs. bandwidth, duplex mode and slicing ratio). Tables follow 3GPP TS 38.101
+(5G NR transmission bandwidths) and TS 36.101 (LTE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.radio.duplex import DuplexMode, TddPattern, FDD_FULL_UPLINK
+
+#: Subcarriers per physical resource block (both LTE and NR).
+SUBCARRIERS_PER_PRB = 12
+#: OFDM symbols per slot with normal cyclic prefix.
+SYMBOLS_PER_SLOT = 14
+
+
+class Numerology(Enum):
+    """Subcarrier spacing: mu=0 -> 15 kHz (LTE / NR FDD low band),
+    mu=1 -> 30 kHz (typical NR TDD mid-band, e.g. n78)."""
+
+    MU0_15KHZ = 0
+    MU1_30KHZ = 1
+
+    @property
+    def subcarrier_spacing_hz(self) -> float:
+        return 15_000.0 * (2 ** self.value)
+
+    @property
+    def slots_per_second(self) -> float:
+        """Slot rate: 1 ms slots at 15 kHz, 0.5 ms slots at 30 kHz."""
+        return 1000.0 * (2 ** self.value)
+
+
+#: Max transmission-bandwidth configuration N_RB, (technology, mu, MHz) -> PRBs.
+#: LTE per TS 36.101 Table 5.6-1; NR per TS 38.101-1 Table 5.3.2-1.
+_PRB_TABLE: dict[tuple[str, int, int], int] = {
+    # LTE, 15 kHz
+    ("lte", 0, 5): 25,
+    ("lte", 0, 10): 50,
+    ("lte", 0, 15): 75,
+    ("lte", 0, 20): 100,
+    # NR FDD, 15 kHz
+    ("nr", 0, 5): 25,
+    ("nr", 0, 10): 52,
+    ("nr", 0, 15): 79,
+    ("nr", 0, 20): 106,
+    ("nr", 0, 25): 133,
+    ("nr", 0, 30): 160,
+    ("nr", 0, 40): 216,
+    ("nr", 0, 50): 270,
+    # NR TDD mid-band, 30 kHz
+    ("nr", 1, 5): 11,
+    ("nr", 1, 10): 24,
+    ("nr", 1, 15): 38,
+    ("nr", 1, 20): 51,
+    ("nr", 1, 25): 65,
+    ("nr", 1, 30): 78,
+    ("nr", 1, 40): 106,
+    ("nr", 1, 50): 133,
+    ("nr", 1, 60): 162,
+    ("nr", 1, 80): 217,
+    ("nr", 1, 100): 273,
+}
+
+
+def prb_count(technology: str, numerology: Numerology, bandwidth_mhz: float) -> int:
+    """Number of usable physical resource blocks for a carrier.
+
+    Parameters
+    ----------
+    technology:
+        ``"lte"`` (4G) or ``"nr"`` (5G).
+    numerology:
+        Subcarrier spacing.
+    bandwidth_mhz:
+        Channel bandwidth in MHz; must be one of the standardized values.
+    """
+    tech = technology.lower()
+    if tech not in ("lte", "nr"):
+        raise ValueError(f"unknown technology {technology!r} (want 'lte' or 'nr')")
+    key = (tech, numerology.value, int(bandwidth_mhz))
+    try:
+        return _PRB_TABLE[key]
+    except KeyError:
+        valid = sorted(
+            mhz for (t, mu, mhz) in _PRB_TABLE if t == tech and mu == numerology.value
+        )
+        raise ValueError(
+            f"no PRB configuration for {tech} mu={numerology.value} "
+            f"{bandwidth_mhz} MHz; valid bandwidths: {valid}"
+        ) from None
+
+
+#: CQI-indexed spectral efficiency (bits per resource element), following the
+#: 3GPP TS 38.214 Table 5.2.2.1-3 (256QAM) ladder, abridged to the entries the
+#: channel model selects among.
+_CQI_EFFICIENCY: dict[int, float] = {
+    1: 0.1523,
+    2: 0.3770,
+    3: 0.8770,
+    4: 1.4766,
+    5: 1.9141,
+    6: 2.4063,
+    7: 2.7305,
+    8: 3.3223,
+    9: 3.9023,
+    10: 4.5234,
+    11: 5.1152,
+    12: 5.5547,
+    13: 6.2266,
+    14: 6.9141,
+    15: 7.4063,
+}
+
+
+def spectral_efficiency(cqi: int) -> float:
+    """Bits per resource element for a channel-quality index (1..15)."""
+    try:
+        return _CQI_EFFICIENCY[int(cqi)]
+    except KeyError:
+        raise ValueError(f"CQI must be in 1..15, got {cqi}") from None
+
+
+def re_rate(prbs: int, numerology: Numerology) -> float:
+    """Resource elements per second offered by ``prbs`` resource blocks."""
+    if prbs < 0:
+        raise ValueError(f"negative PRB count: {prbs}")
+    return prbs * SUBCARRIERS_PER_PRB * SYMBOLS_PER_SLOT * numerology.slots_per_second
+
+
+@dataclass(frozen=True)
+class CarrierConfig:
+    """A configured carrier: technology + bandwidth + duplexing.
+
+    Attributes
+    ----------
+    technology:
+        ``"lte"`` or ``"nr"``.
+    bandwidth_mhz:
+        Channel bandwidth.
+    duplex:
+        FDD or TDD.
+    tdd_pattern:
+        Slot pattern when ``duplex`` is TDD; ignored for FDD.
+    numerology:
+        Subcarrier spacing; defaults follow the paper's deployments
+        (LTE / NR FDD at 15 kHz, NR TDD at 30 kHz).
+    control_overhead:
+        Fraction of resource elements consumed by reference signals, PUCCH,
+        PRACH and other non-data channels.
+    """
+
+    technology: str
+    bandwidth_mhz: float
+    duplex: DuplexMode
+    tdd_pattern: TddPattern = FDD_FULL_UPLINK
+    numerology: Numerology | None = None
+    control_overhead: float = 0.14
+
+    def __post_init__(self) -> None:
+        if self.technology.lower() not in ("lte", "nr"):
+            raise ValueError(f"unknown technology {self.technology!r}")
+        if not 0.0 <= self.control_overhead < 1.0:
+            raise ValueError(f"control_overhead out of range: {self.control_overhead}")
+        if self.duplex is DuplexMode.TDD and self.technology.lower() == "lte":
+            raise ValueError("the testbed's LTE network is FDD-only")
+        if self.numerology is None:
+            default = (
+                Numerology.MU1_30KHZ
+                if self.duplex is DuplexMode.TDD
+                else Numerology.MU0_15KHZ
+            )
+            object.__setattr__(self, "numerology", default)
+        # Validate the bandwidth eagerly so misconfiguration fails at build.
+        prb_count(self.technology, self.numerology, self.bandwidth_mhz)
+
+    @property
+    def n_prbs(self) -> int:
+        """Usable PRBs on this carrier."""
+        assert self.numerology is not None
+        return prb_count(self.technology, self.numerology, self.bandwidth_mhz)
+
+    @property
+    def uplink_fraction(self) -> float:
+        """Fraction of slots available to uplink data."""
+        if self.duplex is DuplexMode.FDD:
+            return 1.0  # dedicated uplink carrier
+        return self.tdd_pattern.uplink_fraction
+
+    def uplink_phy_rate(self, cqi: int) -> float:
+        """Ideal uplink PHY data rate (bits/s) at channel quality ``cqi``.
+
+        This is the ceiling before SDR, modem and host constraints.
+        """
+        assert self.numerology is not None
+        raw = re_rate(self.n_prbs, self.numerology) * spectral_efficiency(cqi)
+        return raw * (1.0 - self.control_overhead) * self.uplink_fraction
+
+    def uplink_rate_per_prb(self, cqi: int) -> float:
+        """Uplink bits/s contributed by a single PRB at quality ``cqi``."""
+        assert self.numerology is not None
+        raw = re_rate(1, self.numerology) * spectral_efficiency(cqi)
+        return raw * (1.0 - self.control_overhead) * self.uplink_fraction

@@ -1,0 +1,158 @@
+"""MAC-layer PRB scheduling.
+
+Each scheduling round (one slot batch) the scheduler divides a PRB budget
+among UEs with pending uplink demand. Two disciplines are provided:
+
+* :class:`RoundRobinScheduler` -- equal shares, rotating the remainder, which
+  is how srsRAN's default uplink scheduler behaves for saturating flows and
+  what produces the "fair sharing" / "balanced performance" the paper reports
+  for the two-user 5G experiments.
+* :class:`ProportionalFairScheduler` -- weights shares by instantaneous
+  channel quality over average realized rate; included because the 4G
+  two-laptop runs show "uneven user allocation" (a PF-like capture effect).
+
+Invariant (property-tested): allocations never exceed the budget and sum to
+``min(budget, total demand in PRBs)`` -- PRBs are conserved.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UeDemand:
+    """One UE's demand in a scheduling round.
+
+    Attributes
+    ----------
+    ue_id:
+        Stable identifier used for rotation/fairness state.
+    prbs_wanted:
+        PRBs the UE could use this round (``None``/large = saturating).
+    cqi:
+        Instantaneous channel quality (used by proportional-fair).
+    """
+
+    ue_id: str
+    prbs_wanted: int
+    cqi: int = 10
+
+    def __post_init__(self) -> None:
+        if self.prbs_wanted < 0:
+            raise ValueError(f"negative PRB demand: {self.prbs_wanted}")
+
+
+class MacScheduler(ABC):
+    """Allocates a PRB budget among demanding UEs each round."""
+
+    @abstractmethod
+    def allocate(self, demands: list[UeDemand], budget: int) -> dict[str, int]:
+        """Return ``{ue_id: prbs}``; total never exceeds ``budget``."""
+
+    @staticmethod
+    def _validate(demands: list[UeDemand], budget: int) -> None:
+        if budget < 0:
+            raise ValueError(f"negative PRB budget: {budget}")
+        ids = [d.ue_id for d in demands]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate UE ids in demand list: {ids}")
+
+
+class RoundRobinScheduler(MacScheduler):
+    """Equal-share allocation with a rotating remainder.
+
+    Water-filling: UEs that want less than an equal share release the excess
+    to the others, so no PRB is wasted while any demand is unmet.
+    """
+
+    def __init__(self) -> None:
+        self._rotation = 0
+
+    def allocate(self, demands: list[UeDemand], budget: int) -> dict[str, int]:
+        self._validate(demands, budget)
+        alloc = {d.ue_id: 0 for d in demands}
+        remaining = {d.ue_id: d.prbs_wanted for d in demands}
+        left = budget
+        # Water-fill: repeatedly split what's left among still-hungry UEs.
+        while left > 0:
+            hungry = [uid for uid, want in remaining.items() if want > 0]
+            if not hungry:
+                break
+            share, extra = divmod(left, len(hungry))
+            if share == 0:
+                # Fewer PRBs than hungry UEs: rotate who gets the leftovers.
+                order = sorted(hungry)
+                start = self._rotation % len(order)
+                for i in range(extra):
+                    uid = order[(start + i) % len(order)]
+                    grant = min(1, remaining[uid])
+                    alloc[uid] += grant
+                    remaining[uid] -= grant
+                    left -= grant
+                self._rotation += 1
+                break
+            granted_any = False
+            for uid in hungry:
+                grant = min(share, remaining[uid])
+                if grant:
+                    alloc[uid] += grant
+                    remaining[uid] -= grant
+                    left -= grant
+                    granted_any = True
+            if not granted_any:
+                break
+        return alloc
+
+
+class ProportionalFairScheduler(MacScheduler):
+    """Weights PRB shares by instantaneous rate over trailing average rate.
+
+    With static per-UE channel asymmetry this converges to unequal shares --
+    the "uneven user allocation" seen in the paper's 4G two-laptop runs.
+    """
+
+    def __init__(self, ewma_alpha: float = 0.1) -> None:
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(f"ewma_alpha out of (0,1]: {ewma_alpha}")
+        self.ewma_alpha = ewma_alpha
+        self._avg_rate: dict[str, float] = {}
+
+    def allocate(self, demands: list[UeDemand], budget: int) -> dict[str, int]:
+        self._validate(demands, budget)
+        alloc = {d.ue_id: 0 for d in demands}
+        active = [d for d in demands if d.prbs_wanted > 0]
+        if not active or budget == 0:
+            return alloc
+        # PF metric: instantaneous achievable rate / trailing average.
+        metrics = np.array(
+            [d.cqi / max(self._avg_rate.get(d.ue_id, 1e-9), 1e-9) for d in active]
+        )
+        weights = metrics / metrics.sum()
+        grants = np.floor(weights * budget).astype(int)
+        # Distribute the rounding remainder to the highest-metric UEs.
+        for i in np.argsort(-metrics)[: budget - int(grants.sum())]:
+            grants[i] += 1
+        for d, g in zip(active, grants):
+            granted = int(min(g, d.prbs_wanted))
+            alloc[d.ue_id] = granted
+        # Redistribute any released PRBs to UEs with unmet demand.
+        left = budget - sum(alloc.values())
+        for d in sorted(active, key=lambda d: -d.cqi):
+            if left <= 0:
+                break
+            extra = min(left, d.prbs_wanted - alloc[d.ue_id])
+            if extra > 0:
+                alloc[d.ue_id] += extra
+                left -= extra
+        # Update trailing averages with the realized (cqi-weighted) rate.
+        for d in active:
+            realized = alloc[d.ue_id] * d.cqi
+            prev = self._avg_rate.get(d.ue_id, realized or 1.0)
+            self._avg_rate[d.ue_id] = (
+                (1 - self.ewma_alpha) * prev + self.ewma_alpha * realized
+            )
+        return alloc

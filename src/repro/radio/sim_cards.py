@@ -1,0 +1,126 @@
+"""SIM card provisioning and AKA-style authentication.
+
+Substitutes the testbed's programmable sysmoISIM-SJA5 cards provisioned with
+the osmocom ``pysim`` toolkit. A :class:`SimProvisioner` plays the role of
+``pysim``: it writes subscriber identities (IMSI) and long-term secrets
+(K, OPc) onto cards and registers the same credentials with the core's
+subscriber database, "allowing for flexible and consistent identity
+management across both environments" (paper section 3.3).
+
+Authentication follows the shape of 5G-AKA: the network issues a challenge
+(RAND), both sides derive an expected response from (K, OPc, RAND) with a
+keyed hash, and registration succeeds only when the responses match. We use
+HMAC-SHA256 in place of MILENAGE; the protocol structure -- and therefore
+every failure mode the upper layers can observe -- is the same.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+
+
+class AuthenticationError(Exception):
+    """Raised when AKA challenge-response fails (wrong K/OPc, unknown IMSI)."""
+
+
+@dataclass(frozen=True)
+class SimCard:
+    """A provisioned SIM: identity plus long-term secret.
+
+    Attributes
+    ----------
+    imsi:
+        15-digit international mobile subscriber identity
+        (MCC+MNC+MSIN; private networks conventionally use MCC 999).
+    k:
+        128-bit subscriber key, hex-encoded (32 hex chars).
+    opc:
+        Operator-variant key, hex-encoded.
+    iccid:
+        Physical card serial.
+    """
+
+    imsi: str
+    k: str
+    opc: str
+    iccid: str
+
+    def __post_init__(self) -> None:
+        if not (self.imsi.isdigit() and len(self.imsi) == 15):
+            raise ValueError(f"IMSI must be 15 digits, got {self.imsi!r}")
+        for label, key in (("k", self.k), ("opc", self.opc)):
+            if len(key) != 32:
+                raise ValueError(f"{label} must be 32 hex chars, got {len(key)}")
+            int(key, 16)  # raises ValueError on non-hex
+
+    def response(self, rand: bytes) -> bytes:
+        """Derive the AKA response RES from the card's secrets and RAND."""
+        secret = bytes.fromhex(self.k) + bytes.fromhex(self.opc)
+        return hmac.new(secret, rand, hashlib.sha256).digest()
+
+
+class SimProvisioner:
+    """Writes SIM cards and keeps the matching subscriber database.
+
+    The subscriber database half is consumed by
+    :class:`repro.radio.core5g.Core5G` for AKA verification (the role of
+    Open5GS's UDM/UDR).
+    """
+
+    def __init__(self, mcc: str = "999", mnc: str = "70") -> None:
+        if not (mcc.isdigit() and len(mcc) == 3):
+            raise ValueError(f"MCC must be 3 digits: {mcc!r}")
+        if not (mnc.isdigit() and len(mnc) in (2, 3)):
+            raise ValueError(f"MNC must be 2-3 digits: {mnc!r}")
+        self.mcc = mcc
+        self.mnc = mnc
+        self._subscribers: dict[str, SimCard] = {}
+        self._next_msin = 1
+
+    @property
+    def plmn(self) -> str:
+        """Public land mobile network code (MCC+MNC)."""
+        return self.mcc + self.mnc
+
+    def provision(self, iccid: str | None = None) -> SimCard:
+        """Create, record, and return a new SIM card.
+
+        Key material is derived deterministically from the identity so a
+        deployment rebuilt from the same PLMN and ordering gets the same
+        cards (reproducibility over realism; these are not real secrets).
+        """
+        msin_width = 15 - len(self.plmn)
+        msin = str(self._next_msin).zfill(msin_width)
+        if len(msin) > msin_width:
+            raise RuntimeError("subscriber space exhausted")
+        self._next_msin += 1
+        imsi = self.plmn + msin
+        k = hashlib.sha256(f"k:{imsi}".encode()).hexdigest()[:32]
+        opc = hashlib.sha256(f"opc:{imsi}".encode()).hexdigest()[:32]
+        card = SimCard(
+            imsi=imsi,
+            k=k,
+            opc=opc,
+            iccid=iccid or f"8988211{imsi[-11:]}",
+        )
+        self._subscribers[imsi] = card
+        return card
+
+    def lookup(self, imsi: str) -> SimCard:
+        """Subscriber-database lookup (UDM role)."""
+        try:
+            return self._subscribers[imsi]
+        except KeyError:
+            raise AuthenticationError(f"unknown IMSI {imsi}") from None
+
+    def verify(self, imsi: str, rand: bytes, res: bytes) -> None:
+        """Check an AKA response against the subscriber database."""
+        card = self.lookup(imsi)
+        expected = card.response(rand)
+        if not hmac.compare_digest(expected, res):
+            raise AuthenticationError(f"AKA response mismatch for IMSI {imsi}")
+
+    def __len__(self) -> int:
+        return len(self._subscribers)

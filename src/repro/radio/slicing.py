@@ -1,0 +1,164 @@
+"""5G network slicing: PRB partitioning across virtual networks.
+
+The paper's Figure 6 experiment configures nine slice profiles on the 40 MHz
+5G TDD cell, each a fixed share of the physical resource blocks (10 %..90 %),
+and shows uplink throughput scaling in proportion to the assigned share. A
+:class:`SliceConfig` here is exactly that: a named partition of the PRB grid.
+Scheduling then happens *within* each slice independently.
+
+The dynamic policy (:meth:`SlicePolicy.rebalance`) implements the paper's
+future-work direction of "IoT-tailored slicing techniques as a way of
+optimizing remote network usage" -- shares adapt to offered load subject to
+a guaranteed floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class NetworkSlice:
+    """One slice: a name and a fractional share of the PRB grid."""
+
+    name: str
+    prb_share: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.prb_share <= 1.0:
+            raise ValueError(
+                f"slice {self.name!r}: prb_share must be in (0,1], got {self.prb_share}"
+            )
+
+
+class SliceConfig:
+    """A complete slicing configuration over a carrier's PRB grid.
+
+    Shares must sum to at most 1 (the complementary 10/90..90/10 profiles of
+    Fig. 6 always sum to exactly 1). PRB partitioning uses largest-remainder
+    rounding so every PRB is assigned when shares sum to 1.
+    """
+
+    def __init__(self, slices: list[NetworkSlice]) -> None:
+        if not slices:
+            raise ValueError("a slice configuration needs at least one slice")
+        names = [s.name for s in slices]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate slice names: {names}")
+        total = sum(s.prb_share for s in slices)
+        if total > 1.0 + _EPS:
+            raise ValueError(f"slice shares sum to {total:.4f} > 1")
+        self.slices = list(slices)
+
+    def __iter__(self):
+        return iter(self.slices)
+
+    def __len__(self) -> int:
+        return len(self.slices)
+
+    def get(self, name: str) -> NetworkSlice:
+        for s in self.slices:
+            if s.name == name:
+                return s
+        raise KeyError(f"no slice named {name!r}")
+
+    def partition_prbs(self, total_prbs: int) -> dict[str, int]:
+        """Split ``total_prbs`` among slices by largest-remainder rounding.
+
+        Invariant (property-tested): the partition sums to
+        ``round(total_prbs * sum(shares))`` and each slice gets within one
+        PRB of its exact share.
+        """
+        if total_prbs < 0:
+            raise ValueError(f"negative PRB count: {total_prbs}")
+        exact = {s.name: s.prb_share * total_prbs for s in self.slices}
+        floors = {name: int(v) for name, v in exact.items()}
+        target = round(sum(exact.values()))
+        leftover = target - sum(floors.values())
+        by_remainder = sorted(
+            exact, key=lambda name: (exact[name] - floors[name]), reverse=True
+        )
+        for name in by_remainder[:leftover]:
+            floors[name] += 1
+        return floors
+
+    @classmethod
+    def complementary_pair(
+        cls, share_a: float, name_a: str = "slice-a", name_b: str = "slice-b"
+    ) -> "SliceConfig":
+        """The Fig. 6 construction: two slices with shares summing to 1."""
+        if not 0.0 < share_a < 1.0:
+            raise ValueError(f"share_a must be in (0,1), got {share_a}")
+        return cls(
+            [
+                NetworkSlice(name_a, share_a),
+                NetworkSlice(name_b, 1.0 - share_a),
+            ]
+        )
+
+    @classmethod
+    def nine_profiles(cls) -> list["SliceConfig"]:
+        """The paper's nine complementary profiles: 10/90, 20/80, ... 90/10."""
+        return [cls.complementary_pair(i / 10.0) for i in range(1, 10)]
+
+
+@dataclass
+class SlicePolicy:
+    """Dynamic slice rebalancing (paper section 5 future work).
+
+    Adjusts shares toward each slice's offered-load fraction while
+    guaranteeing every slice at least ``min_share``.
+    """
+
+    min_share: float = 0.05
+    adaptation_rate: float = 0.5
+    _shares: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_share < 1.0:
+            raise ValueError(f"min_share out of [0,1): {self.min_share}")
+        if not 0.0 < self.adaptation_rate <= 1.0:
+            raise ValueError(f"adaptation_rate out of (0,1]: {self.adaptation_rate}")
+
+    def rebalance(
+        self, config: SliceConfig, offered_load_bps: dict[str, float]
+    ) -> SliceConfig:
+        """Return a new config with shares nudged toward demand fractions."""
+        names = [s.name for s in config]
+        missing = set(offered_load_bps) - set(names)
+        if missing:
+            raise KeyError(f"offered load for unknown slices: {sorted(missing)}")
+        original_total = sum(s.prb_share for s in config)
+        floor_total = self.min_share * len(names)
+        if floor_total > original_total + _EPS:
+            raise ValueError(
+                f"min_share {self.min_share} infeasible: {len(names)} slices "
+                f"need {floor_total:.3f} but only {original_total:.3f} is allocated"
+            )
+        total_load = sum(max(offered_load_bps.get(n, 0.0), 0.0) for n in names)
+        nudged: dict[str, float] = {}
+        for s in config:
+            if total_load <= 0:
+                demand_frac = 1.0 / len(names)
+            else:
+                demand_frac = max(offered_load_bps.get(s.name, 0.0), 0.0) / total_load
+            nudged[s.name] = (
+                (1 - self.adaptation_rate) * s.prb_share
+                + self.adaptation_rate * demand_frac * original_total
+            )
+        # Guarantee floors exactly: distribute the share budget above the
+        # floors proportionally to each slice's above-floor demand.
+        free_budget = original_total - floor_total
+        free = {n: max(v - self.min_share, 0.0) for n, v in nudged.items()}
+        free_total = sum(free.values())
+        result = []
+        for n in names:
+            extra = (
+                free_budget * free[n] / free_total
+                if free_total > 0
+                else free_budget / len(names)
+            )
+            result.append(NetworkSlice(n, self.min_share + extra))
+        return SliceConfig(result)

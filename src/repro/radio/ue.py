@@ -1,0 +1,80 @@
+"""User equipment: host device + modem + SIM + channel, attached to a cell.
+
+A UE mirrors the testbed units: "Raspberry Pi 4 units equipped with 5G USB
+modems ... each runs a software agent called CSPOT" -- the CSPOT side is in
+:mod:`repro.cspot`; here we model the radio half.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.radio.channel import ChannelModel
+from repro.radio.core5g import PduSession
+from repro.radio.devices import Device
+from repro.radio.duplex import DuplexMode
+from repro.radio.modems import Modem
+from repro.radio.sim_cards import SimCard
+
+_UNLIMITED = float("inf")
+
+
+@dataclass
+class UserEquipment:
+    """A complete UE.
+
+    Attributes
+    ----------
+    ue_id:
+        Stable identifier (used by the MAC scheduler and in results).
+    device:
+        Host device model.
+    modem:
+        Cellular modem model.
+    sim:
+        Provisioned SIM card.
+    channel:
+        Per-UE channel statistics (placement/cable asymmetries go here).
+    unit_cap_bps:
+        Optional per-unit hard uplink cap for known-weak individual units
+        (Fig. 6's "RPi1" saturates near 35 Mbps where its twin reaches 43).
+    slice_name:
+        Slice this UE's PDU session binds to, or None for the default.
+    """
+
+    ue_id: str
+    device: Device
+    modem: Modem
+    sim: SimCard
+    channel: ChannelModel = field(default_factory=ChannelModel)
+    unit_cap_bps: Optional[float] = None
+    slice_name: Optional[str] = None
+    session: Optional[PduSession] = None
+
+    def __post_init__(self) -> None:
+        if self.unit_cap_bps is not None and self.unit_cap_bps <= 0:
+            raise ValueError(f"unit_cap_bps must be positive: {self.unit_cap_bps}")
+
+    def supports(self, technology: str, duplex: DuplexMode) -> bool:
+        return self.modem.supports(technology, duplex)
+
+    def combined_efficiency(self, technology: str, duplex: DuplexMode) -> float:
+        """Modem x host efficiency on the granted PHY rate."""
+        return self.modem.efficiency(technology, duplex) * self.device.efficiency(
+            technology, duplex
+        )
+
+    def uplink_cap_bps(self, technology: str, duplex: DuplexMode) -> float:
+        """Tightest of the modem, host, attachment and per-unit caps."""
+        caps = (
+            self.modem.uplink_cap_bps(technology, duplex),
+            self.device.uplink_cap_bps(technology, duplex),
+            self.device.attach_cap_bps(self.modem),
+            self.unit_cap_bps if self.unit_cap_bps is not None else _UNLIMITED,
+        )
+        return min(caps)
+
+    @property
+    def attached(self) -> bool:
+        return self.session is not None and self.session.active

@@ -1,0 +1,145 @@
+"""Historical weather replay.
+
+The paper plans "data calibrations (back tested against historical data)".
+:class:`ReplayWeather` serves a recorded weather trace through the same
+``at(time)`` interface as :class:`~repro.sensors.weather.SyntheticWeather`,
+so an entire fabric run can be replayed against history (swap
+``fabric.weather`` before ``run``). Traces round-trip through CSV via
+:func:`save_trace` / :func:`load_trace`, and :func:`record_trace` captures
+one from any weather source.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+from repro.analysis.export import read_series_csv, write_series_csv
+from repro.sensors.weather import WeatherState
+
+_CSV_HEADER = [
+    "time_s",
+    "wind_speed_mps",
+    "wind_direction_deg",
+    "exterior_temperature_k",
+    "interior_temperature_k",
+    "relative_humidity",
+]
+
+
+class ReplayWeather:
+    """Weather truth served from a recorded trace.
+
+    Queries between trace points interpolate linearly (direction included;
+    traces are assumed densely sampled relative to direction wander, so no
+    circular interpolation is attempted). Queries outside the trace clamp
+    to its ends.
+    """
+
+    def __init__(self, states: Sequence[WeatherState]) -> None:
+        if not states:
+            raise ValueError("empty weather trace")
+        ordered = sorted(states, key=lambda s: s.time_s)
+        times = [s.time_s for s in ordered]
+        if len(set(times)) != len(times):
+            raise ValueError("duplicate timestamps in weather trace")
+        self._states = ordered
+        self._times = times
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    @property
+    def span_s(self) -> tuple[float, float]:
+        return (self._times[0], self._times[-1])
+
+    def at(self, time_s: float) -> WeatherState:
+        """Interpolated state at ``time_s`` (clamped to the trace span)."""
+        if time_s < 0:
+            raise ValueError(f"negative time: {time_s}")
+        if time_s <= self._times[0]:
+            return self._clamp(self._states[0], time_s)
+        if time_s >= self._times[-1]:
+            return self._clamp(self._states[-1], time_s)
+        hi = bisect_right(self._times, time_s)
+        lo = hi - 1
+        a, b = self._states[lo], self._states[hi]
+        w = (time_s - a.time_s) / (b.time_s - a.time_s)
+
+        def lerp(x: float, y: float) -> float:
+            return x + w * (y - x)
+
+        return WeatherState(
+            time_s=time_s,
+            wind_speed_mps=lerp(a.wind_speed_mps, b.wind_speed_mps),
+            wind_direction_deg=lerp(a.wind_direction_deg, b.wind_direction_deg),
+            exterior_temperature_k=lerp(
+                a.exterior_temperature_k, b.exterior_temperature_k
+            ),
+            interior_temperature_k=lerp(
+                a.interior_temperature_k, b.interior_temperature_k
+            ),
+            relative_humidity=lerp(a.relative_humidity, b.relative_humidity),
+        )
+
+    @staticmethod
+    def _clamp(state: WeatherState, time_s: float) -> WeatherState:
+        return WeatherState(
+            time_s=time_s,
+            wind_speed_mps=state.wind_speed_mps,
+            wind_direction_deg=state.wind_direction_deg,
+            exterior_temperature_k=state.exterior_temperature_k,
+            interior_temperature_k=state.interior_temperature_k,
+            relative_humidity=state.relative_humidity,
+        )
+
+    def add_shift(self, shift) -> None:
+        """Replays are immutable history: scheduling shifts is an error."""
+        raise TypeError(
+            "ReplayWeather serves recorded history; regime shifts cannot be "
+            "added (edit the trace instead)"
+        )
+
+
+def record_trace(weather, duration_s: float, interval_s: float = 300.0):
+    """Sample a weather source into a trace list."""
+    if duration_s <= 0 or interval_s <= 0:
+        raise ValueError("duration and interval must be positive")
+    n = int(duration_s // interval_s) + 1
+    return [weather.at(k * interval_s) for k in range(n)]
+
+
+def save_trace(path: str, states: Sequence[WeatherState]) -> str:
+    """Persist a trace as CSV; returns the path."""
+    rows = [
+        [
+            s.time_s,
+            s.wind_speed_mps,
+            s.wind_direction_deg,
+            s.exterior_temperature_k,
+            s.interior_temperature_k,
+            s.relative_humidity,
+        ]
+        for s in states
+    ]
+    return write_series_csv(path, _CSV_HEADER, rows)
+
+
+def load_trace(path: str) -> list[WeatherState]:
+    """Load a trace CSV back into states."""
+    header, rows = read_series_csv(path)
+    if header != _CSV_HEADER:
+        raise ValueError(
+            f"unexpected trace header {header}; want {_CSV_HEADER}"
+        )
+    return [
+        WeatherState(
+            time_s=float(r[0]),
+            wind_speed_mps=float(r[1]),
+            wind_direction_deg=float(r[2]),
+            exterior_temperature_k=float(r[3]),
+            interior_temperature_k=float(r[4]),
+            relative_humidity=float(r[5]),
+        )
+        for r in rows
+    ]

@@ -1,0 +1,160 @@
+"""The discrete-event engine: clock, event queue, run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Optional
+
+from repro.simkernel.events import AllOf, AnyOf, Event, Timeout
+from repro.simkernel.process import Process
+from repro.simkernel.rng import RngRegistry
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine-level errors (time going backwards, empty run...)."""
+
+
+class Engine:
+    """A deterministic discrete-event simulation engine.
+
+    Events scheduled at the same simulated time are processed in scheduling
+    order (FIFO tie-break via a monotonically increasing sequence number), so
+    two runs with the same seed produce identical traces.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the engine's :class:`RngRegistry`. Subsystems draw
+        named child streams (``engine.rng("radio.channel")``) so randomness
+        is stable under composition.
+    start_time:
+        Initial value of the simulated clock, in seconds.
+    """
+
+    def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._eid = count()
+        self.rngs = RngRegistry(seed)
+        self._trace_hooks: list[Callable[[float, Event], None]] = []
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- rng ------------------------------------------------------------------
+
+    def rng(self, name: str):
+        """Return the named, independently seeded random generator."""
+        return self.rngs.get(name)
+
+    # -- event construction ----------------------------------------------------
+
+    def event(self) -> Event:
+        """Create an untriggered one-shot event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a cooperative process from a generator."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling --------------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+
+    def schedule_at(self, when: float, value: Any = None) -> Event:
+        """Create an event that triggers at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} before current time {self._now}"
+            )
+        return Timeout(self, when - self._now, value)
+
+    def add_trace_hook(self, hook: Callable[[float, Event], None]) -> None:
+        """Register a hook invoked as ``hook(now, event)`` on each processed event."""
+        self._trace_hooks.append(hook)
+
+    # -- run loop -----------------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        if when < self._now:  # pragma: no cover - defensive
+            raise SimulationError("time went backwards")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for hook in self._trace_hooks:
+            hook(when, event)
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(event)
+        if not event.ok and not getattr(event, "_defused", False):
+            # An unfailed-unwaited event would silently swallow errors.
+            raise event.value
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` -- run until the event queue drains;
+            a float -- run until the clock reaches that time;
+            an :class:`Event` -- run until that event is processed, returning
+            its value (or raising its exception).
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            sentinel = until
+            done: list[Any] = []
+
+            def _mark(ev: Event) -> None:
+                done.append(ev)
+                ev._defused = True  # type: ignore[attr-defined]
+
+            sentinel.add_callback(_mark)
+            while not done:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before the awaited event triggered"
+                    )
+                self.step()
+            if sentinel.ok:
+                return sentinel.value
+            raise sentinel.value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(f"run until {horizon} is in the past ({self._now})")
+        while self._queue and self._queue[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

@@ -1,0 +1,152 @@
+"""Capacity-limited resources and message stores."""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from itertools import count
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.simkernel.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.engine import Engine
+
+
+class Resource:
+    """A counted resource with FIFO waiters (e.g. compute cores, RF chains).
+
+    ``request(n)`` returns an event that triggers once ``n`` units are
+    granted; ``release(n)`` returns them. Grants are FIFO -- a large request
+    at the head of the queue blocks later small ones (no starvation).
+    """
+
+    def __init__(self, engine: "Engine", capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.engine = engine
+        self.capacity = int(capacity)
+        self._in_use = 0
+        self._waiters: deque[tuple[Event, int]] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def request(self, amount: int = 1) -> Event:
+        """Request ``amount`` units; the returned event triggers on grant."""
+        if amount <= 0 or amount > self.capacity:
+            raise ValueError(
+                f"request of {amount} units from capacity-{self.capacity} resource"
+            )
+        ev = Event(self.engine)
+        self._waiters.append((ev, amount))
+        self._drain()
+        return ev
+
+    def release(self, amount: int = 1) -> None:
+        """Return ``amount`` units to the pool."""
+        if amount <= 0 or amount > self._in_use:
+            raise ValueError(
+                f"release of {amount} units with {self._in_use} in use"
+            )
+        self._in_use -= amount
+        self._drain()
+
+    def _drain(self) -> None:
+        while self._waiters:
+            ev, amount = self._waiters[0]
+            if ev.triggered or ev._abandoned:  # cancelled / interrupted away
+                self._waiters.popleft()
+                continue
+            if self._in_use + amount > self.capacity:
+                break
+            self._waiters.popleft()
+            self._in_use += amount
+            ev.succeed(amount)
+
+
+class Store:
+    """Unbounded FIFO store of items; ``get`` waits until an item exists."""
+
+    def __init__(self, engine: "Engine") -> None:
+        self.engine = engine
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest live waiting getter if any."""
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered and not getter._abandoned:
+                getter.succeed(item)
+                return
+        self._items.append(item)
+
+    def get(self) -> Event:
+        """Return an event that triggers with the next available item."""
+        ev = Event(self.engine)
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get; None if empty."""
+        return self._items.popleft() if self._items else None
+
+
+class PriorityStore(Store):
+    """Store that hands out the lowest-priority item first.
+
+    Items are ``(priority, payload)`` pairs; ties break FIFO.
+    """
+
+    def __init__(self, engine: "Engine") -> None:
+        super().__init__(engine)
+        self._heap: list[tuple[Any, int, Any]] = []
+        self._seq = count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def put(self, item: Any) -> None:
+        try:
+            priority, payload = item
+        except (TypeError, ValueError):
+            raise TypeError("PriorityStore items must be (priority, payload) pairs")
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.triggered and not getter._abandoned:
+                if self._heap:
+                    # Respect ordering: insert then pop the minimum.
+                    heappush(self._heap, (priority, next(self._seq), payload))
+                    p, _, best = heappop(self._heap)
+                    getter.succeed((p, best))
+                else:
+                    getter.succeed((priority, payload))
+                return
+        heappush(self._heap, (priority, next(self._seq), payload))
+
+    def get(self) -> Event:
+        ev = Event(self.engine)
+        if self._heap:
+            priority, _, payload = heappop(self._heap)
+            ev.succeed((priority, payload))
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> Optional[Any]:
+        if not self._heap:
+            return None
+        priority, _, payload = heappop(self._heap)
+        return (priority, payload)

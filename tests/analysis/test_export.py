@@ -1,0 +1,40 @@
+"""Tests for figure-data CSV export."""
+
+import pytest
+
+from repro.analysis import read_series_csv, write_series_csv
+
+
+class TestCsvRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "fig4.csv")
+        header = ["network", "device", "bandwidth_mhz", "mean_mbps"]
+        rows = [
+            ["5g-fdd", "raspberry-pi", 20, 51.93],
+            ["5g-tdd", "raspberry-pi", 50, 65.35],
+        ]
+        write_series_csv(path, header, rows)
+        got_header, got_rows = read_series_csv(path)
+        assert got_header == header
+        assert got_rows == [[str(v) for v in row] for row in rows]
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "nested" / "dir" / "out.csv")
+        write_series_csv(path, ["a"], [[1]])
+        assert read_series_csv(path)[0] == ["a"]
+
+    def test_width_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="row 1 has"):
+            write_series_csv(
+                str(tmp_path / "x.csv"), ["a", "b"], [[1, 2], [1]]
+            )
+
+    def test_empty_header_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_series_csv(str(tmp_path / "x.csv"), [], [])
+
+    def test_read_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_series_csv(str(path))

@@ -1,0 +1,60 @@
+"""Tests for the Table 1 latency harness and calibrated paths."""
+
+import pytest
+
+from repro.cspot import CSPOTNode, Transport
+from repro.cspot.latency import measure_path_latency
+from repro.cspot.paths import TABLE1_ANCHORS
+from repro.cspot.paths import testbed_paths as _testbed_paths
+from repro.simkernel import Engine
+
+
+def run_probe(key, use_size_cache=False, seed=3):
+    engine = Engine(seed=seed)
+    transport = Transport(engine)
+    path = _testbed_paths()[key]
+    client = CSPOTNode(engine, "client")
+    server = CSPOTNode(engine, "server")
+    server.create_log("telemetry", element_size=1024, history_size=128)
+    transport.connect("client", "server", path)
+    return measure_path_latency(
+        engine, transport, client, server, "telemetry",
+        use_size_cache=use_size_cache,
+    )
+
+
+class TestTable1Calibration:
+    @pytest.mark.parametrize("key", list(TABLE1_ANCHORS))
+    def test_mean_within_15pct_of_paper(self, key):
+        paper_mean, _ = TABLE1_ANCHORS[key]
+        probe = run_probe(key)
+        assert probe.mean_ms == pytest.approx(paper_mean, rel=0.15)
+
+    def test_5g_hop_costs_roughly_6x_internet(self):
+        over_5g = run_probe("unl-ucsb-5g").mean_ms
+        internet = run_probe("unl-ucsb-internet").mean_ms
+        # Paper: 101 ms vs 17 ms -- "an order of magnitude improvement".
+        assert 4 < over_5g / internet < 9
+
+    def test_5g_path_noisier_than_internet(self):
+        assert run_probe("unl-ucsb-5g").std_ms > run_probe("unl-ucsb-internet").std_ms
+
+    def test_sample_count(self):
+        probe = run_probe("ucsb-nd-internet")
+        assert probe.samples_ms.shape == (29,)  # 30 minus the discarded first
+
+    def test_size_cache_roughly_halves_latency(self):
+        # The optimization discussed (and rejected for the prototype) in 4.2.
+        plain = run_probe("ucsb-nd-internet", use_size_cache=False).mean_ms
+        cached = run_probe("ucsb-nd-internet", use_size_cache=True).mean_ms
+        assert cached == pytest.approx(plain / 2, rel=0.15)
+
+    def test_minimum_message_count(self):
+        engine = Engine()
+        transport = Transport(engine)
+        client = CSPOTNode(engine, "a")
+        server = CSPOTNode(engine, "b")
+        server.create_log("t", element_size=1024)
+        transport.connect("a", "b", _testbed_paths()["unl-ucsb-internet"])
+        with pytest.raises(ValueError):
+            measure_path_latency(engine, transport, client, server, "t", n_messages=1)

@@ -1,0 +1,171 @@
+"""Unit + property tests for WooF logs and storage backends."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cspot import (
+    ElementSizeError,
+    EvictedError,
+    FileStorage,
+    MemoryStorage,
+    WooF,
+)
+
+
+class TestWooFBasics:
+    def test_append_returns_dense_increasing_seqnos(self):
+        log = WooF("t", element_size=64)
+        assert [log.append(b"a"), log.append(b"b"), log.append(b"c")] == [1, 2, 3]
+        assert log.last_seqno == 3
+
+    def test_get_roundtrip(self):
+        log = WooF("t", element_size=64)
+        log.append(b"hello", now=5.0)
+        entry = log.get(1)
+        assert entry.payload == b"hello"
+        assert entry.seqno == 1
+        assert entry.appended_at == 5.0
+
+    def test_oversized_payload_rejected(self):
+        log = WooF("t", element_size=4)
+        with pytest.raises(ElementSizeError):
+            log.append(b"too big for four")
+
+    def test_non_bytes_rejected(self):
+        log = WooF("t", element_size=64)
+        with pytest.raises(TypeError):
+            log.append("string")  # type: ignore[arg-type]
+
+    def test_get_out_of_range(self):
+        log = WooF("t", element_size=8)
+        with pytest.raises(KeyError):
+            log.get(1)
+        log.append(b"x")
+        with pytest.raises(KeyError):
+            log.get(2)
+        with pytest.raises(KeyError):
+            log.get(0)
+
+    def test_circular_eviction(self):
+        log = WooF("t", element_size=8, history_size=3)
+        for i in range(5):
+            log.append(f"e{i}".encode())
+        assert log.earliest_seqno == 3
+        assert len(log) == 3
+        with pytest.raises(EvictedError):
+            log.get(1)
+        assert log.get(5).payload == b"e4"
+
+    def test_latest(self):
+        log = WooF("t", element_size=8)
+        for i in range(6):
+            log.append(f"v{i}".encode())
+        assert [e.payload for e in log.latest(3)] == [b"v3", b"v4", b"v5"]
+        assert log.latest(100)[0].payload == b"v0"
+        assert WooF("e", element_size=8).latest(3) == []
+
+    def test_scan_since(self):
+        log = WooF("t", element_size=8)
+        for i in range(4):
+            log.append(f"v{i}".encode())
+        assert [e.seqno for e in log.scan(since_seqno=2)] == [3, 4]
+        assert [e.seqno for e in log.scan()] == [1, 2, 3, 4]
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            WooF("t", element_size=0)
+        with pytest.raises(ValueError):
+            WooF("t", element_size=8, history_size=0)
+
+    def test_subscriber_sees_appends(self):
+        log = WooF("t", element_size=8)
+        seen = []
+        log.subscribe(lambda lg, e: seen.append(e.seqno))
+        log.append(b"a")
+        log.append(b"b")
+        assert seen == [1, 2]
+
+
+class TestRecovery:
+    def test_memory_storage_recovery(self):
+        storage = MemoryStorage()
+        log = WooF("t", element_size=16, history_size=4, storage=storage)
+        for i in range(6):
+            log.append(f"x{i}".encode())
+        # Process death: the WooF object is gone, the storage survives.
+        revived = WooF.recover("t", storage)
+        assert revived.last_seqno == 6
+        assert revived.earliest_seqno == 3
+        assert revived.get(6).payload == b"x5"
+        with pytest.raises(EvictedError):
+            revived.get(2)
+
+    def test_recovery_continues_seqnos(self):
+        storage = MemoryStorage()
+        WooF("t", element_size=8, storage=storage).append(b"a")
+        revived = WooF.recover("t", storage)
+        assert revived.append(b"b") == 2
+
+    def test_recover_empty_storage_rejected(self):
+        with pytest.raises(ValueError, match="no log header"):
+            WooF.recover("t", MemoryStorage())
+
+    def test_header_mismatch_rejected(self):
+        storage = MemoryStorage()
+        WooF("t", element_size=8, storage=storage)
+        with pytest.raises(ValueError, match="does not match"):
+            WooF("t", element_size=16, storage=storage)
+
+    def test_file_storage_roundtrip(self, tmp_path):
+        storage = FileStorage(str(tmp_path), "mylog")
+        log = WooF("mylog", element_size=32, history_size=8, storage=storage)
+        for i in range(10):
+            log.append(f"payload-{i}".encode())
+        # Re-open from disk with a brand-new storage object.
+        fresh = FileStorage(str(tmp_path), "mylog")
+        revived = WooF.recover("mylog", fresh)
+        assert revived.last_seqno == 10
+        assert revived.get(10).payload == b"payload-9"
+        assert revived.append(b"after") == 11
+
+    def test_file_storage_missing_record(self, tmp_path):
+        storage = FileStorage(str(tmp_path), "x")
+        with pytest.raises(KeyError):
+            storage.read_record(0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    payloads=st.lists(st.binary(min_size=0, max_size=16), min_size=1, max_size=40),
+    history=st.integers(min_value=1, max_value=10),
+)
+def test_log_invariants_property(payloads, history):
+    """Dense seqnos, faithful round trip, exact eviction window."""
+    log = WooF("p", element_size=16, history_size=history)
+    seqnos = [log.append(p) for p in payloads]
+    assert seqnos == list(range(1, len(payloads) + 1))
+    n = len(payloads)
+    earliest = max(1, n - history + 1)
+    assert log.earliest_seqno == earliest
+    assert len(log) == n - earliest + 1
+    for s in range(earliest, n + 1):
+        assert log.get(s).payload == payloads[s - 1]
+    for s in range(1, earliest):
+        with pytest.raises(EvictedError):
+            log.get(s)
+
+
+@settings(max_examples=50, deadline=None)
+@given(payloads=st.lists(st.binary(min_size=1, max_size=16), min_size=1, max_size=30))
+def test_recovery_preserves_state_property(payloads):
+    """Recovery from storage is lossless for resident entries."""
+    storage = MemoryStorage()
+    log = WooF("p", element_size=16, history_size=8, storage=storage)
+    for p in payloads:
+        log.append(p)
+    revived = WooF.recover("p", storage)
+    assert revived.last_seqno == log.last_seqno
+    assert revived.earliest_seqno == log.earliest_seqno
+    for entry in log.scan():
+        assert revived.get(entry.seqno).payload == entry.payload

@@ -1,0 +1,189 @@
+"""Tests for the cluster, FCFS and backfill scheduling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpc import (
+    BackfillScheduler,
+    Cluster,
+    FcfsScheduler,
+    Job,
+    JobState,
+    SubmitError,
+)
+from repro.simkernel import Engine
+
+
+def make_cluster(nodes=4, scheduler=None):
+    engine = Engine(seed=0)
+    return engine, Cluster(engine, "test", total_nodes=nodes, scheduler=scheduler)
+
+
+def job(name, nodes, runtime, walltime=None, user="u"):
+    return Job(
+        name=name, nodes=nodes, runtime_s=runtime,
+        walltime_s=walltime if walltime is not None else runtime * 1.5,
+        user=user,
+    )
+
+
+class TestClusterBasics:
+    def test_job_starts_immediately_on_empty_cluster(self):
+        engine, cluster = make_cluster()
+        j = cluster.submit(job("a", 2, 100.0))
+        assert j.state is JobState.RUNNING
+        assert j.queue_wait_s == 0.0
+        engine.run()
+        assert j.state is JobState.COMPLETED
+        assert j.end_time == 100.0
+
+    def test_rejects_oversized_job(self):
+        _, cluster = make_cluster(nodes=4)
+        with pytest.raises(SubmitError, match="wants 5 nodes"):
+            cluster.submit(job("big", 5, 10.0))
+
+    def test_rejects_over_walltime(self):
+        _, cluster = make_cluster()
+        with pytest.raises(SubmitError, match="exceeds site limit"):
+            cluster.submit(job("long", 1, 10.0, walltime=100 * 3600.0 * 10))
+
+    def test_double_submit_rejected(self):
+        _, cluster = make_cluster()
+        j = cluster.submit(job("a", 1, 10.0))
+        with pytest.raises(SubmitError, match="already submitted"):
+            cluster.submit(j)
+
+    def test_walltime_timeout(self):
+        engine, cluster = make_cluster()
+        j = cluster.submit(job("slow", 1, runtime=100.0, walltime=50.0))
+        engine.run()
+        assert j.state is JobState.TIMEOUT
+        assert j.end_time == 50.0
+
+    def test_cancel_pending(self):
+        engine, cluster = make_cluster(nodes=1)
+        cluster.submit(job("a", 1, 100.0))
+        b = cluster.submit(job("b", 1, 100.0))
+        assert b.state is JobState.PENDING
+        cluster.cancel(b)
+        assert b.state is JobState.CANCELLED
+        engine.run()
+        assert b.state is JobState.CANCELLED
+
+    def test_cancel_running_frees_nodes(self):
+        engine, cluster = make_cluster(nodes=1)
+        a = cluster.submit(job("a", 1, 1000.0))
+        b = cluster.submit(job("b", 1, 10.0))
+        cluster.cancel(a)
+        assert b.state is JobState.RUNNING
+        engine.run()
+        assert b.state is JobState.COMPLETED
+
+    def test_queue_wait_measured(self):
+        engine, cluster = make_cluster(nodes=1)
+        cluster.submit(job("a", 1, 100.0))
+        b = cluster.submit(job("b", 1, 10.0))
+        engine.run()
+        assert b.queue_wait_s == pytest.approx(100.0)
+        mean, peak = cluster.queue_wait_stats()
+        assert peak == pytest.approx(100.0)
+        assert mean == pytest.approx(50.0)
+
+    def test_utilization(self):
+        _, cluster = make_cluster(nodes=4)
+        cluster.submit(job("a", 3, 100.0))
+        assert cluster.utilization() == pytest.approx(0.75)
+
+    def test_started_event_fires(self):
+        engine, cluster = make_cluster(nodes=1)
+        cluster.submit(job("a", 1, 50.0))
+        b = cluster.submit(job("b", 1, 10.0))
+        starts = []
+        b.started.add_callback(lambda ev: starts.append(engine.now))
+        engine.run()
+        assert starts == [50.0]
+
+
+class TestFcfs:
+    def test_head_blocks_smaller_later_jobs(self):
+        engine, cluster = make_cluster(nodes=4, scheduler=FcfsScheduler())
+        cluster.submit(job("a", 3, 100.0))
+        big = cluster.submit(job("big", 4, 10.0))   # head: cannot fit
+        small = cluster.submit(job("small", 1, 10.0))  # would fit, FCFS says no
+        assert big.state is JobState.PENDING
+        assert small.state is JobState.PENDING
+        engine.run()
+        # big starts at 100 when a ends; small after big.
+        assert big.start_time == pytest.approx(100.0)
+        assert small.start_time >= big.start_time
+
+
+class TestBackfill:
+    def test_backfill_starts_small_job_that_fits_the_hole(self):
+        engine, cluster = make_cluster(nodes=4, scheduler=BackfillScheduler())
+        cluster.submit(job("a", 3, runtime=100.0, walltime=100.0))
+        cluster.submit(job("head", 4, runtime=10.0, walltime=10.0))
+        # Fits in 1 free node and ends (walltime 50) before the head's
+        # reservation at t=100.
+        filler = cluster.submit(job("filler", 1, runtime=50.0, walltime=50.0))
+        assert filler.state is JobState.RUNNING
+        engine.run()
+        # The head was not delayed past its reservation.
+        head = next(j for j in cluster.completed_jobs if j.name == "head")
+        assert head.start_time == pytest.approx(100.0)
+
+    def test_backfill_refuses_job_that_would_delay_head(self):
+        engine, cluster = make_cluster(nodes=4, scheduler=BackfillScheduler())
+        cluster.submit(job("a", 3, runtime=100.0, walltime=100.0))
+        cluster.submit(job("head", 4, runtime=10.0, walltime=10.0))
+        # Fits now but its walltime (200) crosses the head's reservation.
+        blocker = cluster.submit(job("blocker", 1, runtime=200.0, walltime=200.0))
+        assert blocker.state is JobState.PENDING
+
+    def test_backfill_allows_long_job_on_spare_nodes(self):
+        engine, cluster = make_cluster(nodes=8, scheduler=BackfillScheduler())
+        cluster.submit(job("a", 4, runtime=100.0, walltime=100.0))
+        cluster.submit(job("head", 6, runtime=10.0, walltime=10.0))
+        # 8 - 6 = 2 nodes are spare even at the reservation: a long 2-node
+        # job may run indefinitely without delaying the head.
+        spare = cluster.submit(job("spare", 2, runtime=500.0, walltime=500.0))
+        assert spare.state is JobState.RUNNING
+        engine.run()
+        head = next(j for j in cluster.completed_jobs if j.name == "head")
+        assert head.start_time == pytest.approx(100.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    specs=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=8),     # nodes
+            st.floats(min_value=1.0, max_value=500.0),  # runtime
+        ),
+        min_size=1,
+        max_size=15,
+    ),
+    discipline=st.sampled_from(["fcfs", "backfill"]),
+)
+def test_never_oversubscribed_and_all_jobs_finish(specs, discipline):
+    """Property: node capacity is never exceeded at any event, and every
+    job eventually completes."""
+    engine = Engine(seed=0)
+    sched = FcfsScheduler() if discipline == "fcfs" else BackfillScheduler()
+    cluster = Cluster(engine, "prop", total_nodes=8, scheduler=sched)
+
+    over = []
+    engine.add_trace_hook(
+        lambda t, ev: over.append(t) if cluster.free_nodes < 0 else None
+    )
+    jobs = [
+        cluster.submit(job(f"j{i}", nodes, runtime, walltime=runtime))
+        for i, (nodes, runtime) in enumerate(specs)
+    ]
+    engine.run()
+    assert not over
+    assert all(j.state is JobState.COMPLETED for j in jobs)
+    # FCFS start-order sanity: start times are achievable (no job started
+    # before submission).
+    assert all(j.start_time >= j.submit_time for j in jobs)

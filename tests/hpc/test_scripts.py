@@ -1,0 +1,74 @@
+"""Tests for batch job-script generation (the section 4.3 portability layer)."""
+
+import pytest
+
+from repro.hpc import Job, all_sites, anvil, nd_crc, stampede3
+from repro.hpc.scripts import render_job_script, submit_command_line
+from repro.simkernel import Engine
+
+
+@pytest.fixture
+def job():
+    return Job(name="cups-cfd", nodes=1, walltime_s=2 * 3600.0 + 90.0,
+               runtime_s=420.0)
+
+
+class TestDialects:
+    def test_uge_directives_on_nd(self, job):
+        script = render_job_script(job, nd_crc(Engine()))
+        assert script.startswith("#!/bin/bash")
+        assert "#$ -N cups-cfd" in script
+        assert "#$ -l h_rt=02:01:30" in script
+        assert "#SBATCH" not in script
+
+    def test_slurm_directives_on_anvil(self, job):
+        script = render_job_script(job, anvil(Engine()))
+        assert "#SBATCH --job-name=cups-cfd" in script
+        assert "#SBATCH --nodes=1" in script
+        assert "#SBATCH --time=02:01:30" in script
+        assert "--partition=wholenode" in script
+        assert "#$ -N" not in script
+
+    def test_cores_follow_site_shape(self, job):
+        nd_script = render_job_script(job, nd_crc(Engine()))
+        assert "#$ -pe smp 64" in nd_script
+        anvil_script = render_job_script(job, anvil(Engine()))
+        assert "--ntasks-per-node=128" in anvil_script
+
+
+class TestPortabilityBody:
+    def test_modules_pinned_per_site(self, job):
+        engine = Engine()
+        versions = {}
+        for name, site in all_sites(engine).items():
+            script = render_job_script(job, site)
+            line = next(
+                ln for ln in script.splitlines()
+                if ln.startswith("module load openfoam/")
+            )
+            versions[name] = line.split("/")[-1]
+        assert len(set(versions.values())) == 3  # the heterogeneity is real
+
+    def test_miniconda_everywhere(self, job):
+        for site in all_sites(Engine()).values():
+            assert "source activate xgfabric" in render_job_script(job, site)
+
+    def test_render_setup_per_site(self, job):
+        assert "Xvfb" in render_job_script(job, nd_crc(Engine()))
+        assert "MESA_GL_VERSION_OVERRIDE" in render_job_script(job, stampede3(Engine()))
+        assert "ssh -Y" in render_job_script(job, anvil(Engine()))
+
+    def test_same_command_everywhere(self, job):
+        # The artifact's entry point is identical across sites.
+        for site in all_sites(Engine()).values():
+            assert "sh runme.sh -t=$NSLOTS" in render_job_script(job, site)
+
+    def test_custom_command(self, job):
+        script = render_job_script(job, nd_crc(Engine()), command="python run.py")
+        assert "python run.py" in script
+
+
+class TestSubmitLine:
+    def test_dialect_specific_submit(self, job):
+        assert submit_command_line("job.sh", nd_crc(Engine())) == "qsub job.sh"
+        assert submit_command_line("job.sh", anvil(Engine())) == "sbatch job.sh"

@@ -1,0 +1,171 @@
+"""Tests for site presets, the module system, and render-strategy logic."""
+
+import pytest
+
+from repro.hpc import (
+    BatchSystem,
+    Job,
+    ModuleError,
+    ModuleSystem,
+    QueueLoadGenerator,
+    RenderStrategy,
+    SoftwareModule,
+    all_sites,
+    anvil,
+    nd_crc,
+    stampede3,
+)
+from repro.hpc.modules import GlStack
+from repro.simkernel import Engine
+
+
+class TestModuleSystem:
+    def _system(self):
+        return ModuleSystem(
+            available=[
+                SoftwareModule("gcc", "12.2.0"),
+                SoftwareModule("openmpi", "4.1.5", depends_on=("gcc/12.2.0",)),
+                SoftwareModule("openfoam", "v2312", depends_on=("openmpi/4.1.5",)),
+                SoftwareModule("openfoam", "v2206", depends_on=("openmpi/4.1.5",)),
+            ]
+        )
+
+    def test_load_pulls_dependencies(self):
+        ms = self._system()
+        ms.load("openfoam", "v2312")
+        assert "gcc/12.2.0" in ms.loaded()
+        assert "openmpi/4.1.5" in ms.loaded()
+
+    def test_load_highest_version_by_default(self):
+        ms = self._system()
+        mod = ms.load("openfoam")
+        assert mod.version == "v2312"
+
+    def test_version_conflict(self):
+        ms = self._system()
+        ms.load("openfoam", "v2206")
+        with pytest.raises(ModuleError, match="conflict"):
+            ms.load("openfoam", "v2312")
+
+    def test_missing_module(self):
+        with pytest.raises(ModuleError, match="not available"):
+            self._system().load("paraview")
+
+    def test_unload_and_purge(self):
+        ms = self._system()
+        ms.load("gcc")
+        ms.unload("gcc")
+        assert ms.loaded() == []
+        with pytest.raises(ModuleError):
+            ms.unload("gcc")
+        ms.load("gcc")
+        ms.purge()
+        assert ms.loaded() == []
+
+    def test_reload_same_version_is_noop(self):
+        ms = self._system()
+        a = ms.load("gcc")
+        b = ms.load("gcc")
+        assert a is b
+
+
+class TestRenderStrategies:
+    """Section 4.3's per-site outcomes."""
+
+    def test_nd_uses_xorg_framebuffer(self):
+        site = nd_crc(Engine())
+        assert site.render_strategy() is RenderStrategy.XORG_FRAMEBUFFER
+
+    def test_stampede3_uses_mesa(self):
+        site = stampede3(Engine())
+        assert site.modules.gl_stack is GlStack.MESA
+        assert site.render_strategy() is RenderStrategy.MESA_OFFSCREEN
+
+    def test_anvil_requires_ssh_forwarding(self):
+        # "ANVIL's configuration ... lacking support for both virtual
+        # framebuffer and Mesa environment pass-through capabilities."
+        site = anvil(Engine())
+        assert site.render_strategy() is RenderStrategy.SSH_DISPLAY_FORWARD
+
+
+class TestSitePresets:
+    def test_batch_system_dialects(self):
+        engine = Engine()
+        assert nd_crc(engine).batch_system is BatchSystem.UGE
+        assert anvil(engine).batch_system is BatchSystem.SLURM
+        assert nd_crc(engine).batch_system.submit_command == "qsub"
+        assert anvil(engine).batch_system.submit_command == "sbatch"
+
+    def test_all_sites_share_engine(self):
+        engine = Engine()
+        sites = all_sites(engine)
+        assert set(sites) == {"nd-crc", "anvil", "stampede3"}
+        assert all(s.engine is engine for s in sites.values())
+
+    def test_environment_setup_succeeds_everywhere(self):
+        # The Miniconda-based portability strategy: the same three modules
+        # resolve on all sites despite different versions.
+        engine = Engine()
+        for site in all_sites(engine).values():
+            loaded = site.setup_environment()
+            assert any(k.startswith("openfoam/") for k in loaded)
+            assert any(k.startswith("paraview/") for k in loaded)
+            assert any(k.startswith("miniconda/") for k in loaded)
+
+    def test_openfoam_versions_differ_across_sites(self):
+        # The heterogeneity that motivates the portability layer.
+        engine = Engine()
+        versions = {
+            site.modules.load("openfoam").version
+            for site in all_sites(engine).values()
+        }
+        assert len(versions) == 3
+
+    def test_site_submit_delegates_to_cluster(self):
+        engine = Engine()
+        site = nd_crc(engine)
+        j = site.submit(Job(name="x", nodes=1, walltime_s=100.0, runtime_s=50.0))
+        engine.run()
+        assert j.end_time == 50.0
+
+
+class TestQueueLoad:
+    def test_zero_rate_injects_nothing(self):
+        engine = Engine(seed=1)
+        site = nd_crc(engine)
+        gen = QueueLoadGenerator(site, arrival_rate_per_hour=0.0)
+        gen.start(3600.0)
+        engine.run(until=3600.0)
+        assert gen.jobs_injected == 0
+
+    def test_load_creates_queue_delay(self):
+        engine = Engine(seed=1)
+        site = nd_crc(engine, total_nodes=8)
+        gen = QueueLoadGenerator(
+            site, arrival_rate_per_hour=6.0, mean_job_nodes=4.0, mean_job_hours=4.0
+        )
+        assert gen.offered_load() > 1.0  # oversubscribed on purpose
+        gen.start(24 * 3600.0)
+        engine.run(until=24 * 3600.0)
+        assert gen.jobs_injected > 0
+        mean_wait, max_wait = site.cluster.queue_wait_stats()
+        assert max_wait > 600.0  # saturated queue -> real delays
+
+    def test_light_load_keeps_queue_short(self):
+        engine = Engine(seed=1)
+        site = nd_crc(engine, total_nodes=64)
+        gen = QueueLoadGenerator(
+            site, arrival_rate_per_hour=1.0, mean_job_nodes=2.0, mean_job_hours=1.0
+        )
+        assert gen.offered_load() < 0.1
+        gen.start(24 * 3600.0)
+        engine.run(until=24 * 3600.0)
+        mean_wait, _ = site.cluster.queue_wait_stats()
+        assert mean_wait < 300.0
+
+    def test_invalid_params(self):
+        site = nd_crc(Engine())
+        with pytest.raises(ValueError):
+            QueueLoadGenerator(site, arrival_rate_per_hour=-1.0)
+        with pytest.raises(ValueError):
+            QueueLoadGenerator(site, arrival_rate_per_hour=1.0, mean_job_nodes=0.5)

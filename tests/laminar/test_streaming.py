@@ -1,0 +1,118 @@
+"""Tests for streaming execution and epoch pruning."""
+
+import numpy as np
+import pytest
+
+from repro.cspot import CSPOTNode
+from repro.laminar import ARRAY_F64, BOOL, DataflowGraph, I64, LaminarRuntime
+from repro.laminar.change_detect import build_change_detection_graph
+from repro.simkernel import Engine
+
+
+def doubler_graph():
+    g = DataflowGraph("stream")
+    x = g.operand("x", I64)
+    y = g.operand("y", I64)
+    g.node("double", lambda v: 2 * v, inputs=[x], output=y)
+    return g
+
+
+class TestPruning:
+    def _runtime(self):
+        engine = Engine(seed=0)
+        host = CSPOTNode(engine, "ucsb")
+        rt = LaminarRuntime(engine, doubler_graph(), hosts={"ucsb": host})
+        return engine, rt
+
+    def test_prune_removes_old_state(self):
+        engine, rt = self._runtime()
+        for epoch in range(5):
+            rt.submit(epoch, {"x": epoch})
+            engine.run(until=rt.epoch_done(epoch))
+        removed = rt.prune_epochs(3)
+        assert removed > 0
+        with pytest.raises(KeyError):
+            rt.value("y", 0)
+        assert rt.value("y", 3) == 6
+        assert rt.value("y", 4) == 8
+
+    def test_prune_is_idempotent(self):
+        engine, rt = self._runtime()
+        rt.submit(0, {"x": 1})
+        engine.run(until=rt.epoch_done(0))
+        rt.prune_epochs(1)
+        assert rt.prune_epochs(1) == 0
+
+    def test_working_state_bounded_under_streaming(self):
+        engine, rt = self._runtime()
+        sizes = []
+        for epoch in range(30):
+            rt.submit(epoch, {"x": epoch})
+            engine.run(until=rt.epoch_done(epoch))
+            rt.prune_epochs(epoch - 2)
+            sizes.append(len(rt._values))
+        # Steady state: the table stops growing after the warm-up epochs.
+        assert sizes[-1] <= sizes[5]
+
+    def test_durable_log_record_survives_pruning(self):
+        engine, rt = self._runtime()
+        host = rt.hosts["ucsb"]
+        for epoch in range(4):
+            rt.submit(epoch, {"x": epoch})
+            engine.run(until=rt.epoch_done(epoch))
+        rt.prune_epochs(4)
+        # The CSPOT log still holds every binding (the durable record).
+        log = host.get_log("lam.stream.y")
+        assert log.last_seqno == 4
+
+
+class TestRunStream:
+    def test_stream_executes_all_epochs_on_cadence(self):
+        engine = Engine(seed=0)
+        host = CSPOTNode(engine, "ucsb")
+        rt = LaminarRuntime(engine, doubler_graph(), hosts={"ucsb": host})
+        proc = rt.run_stream([{"x": k} for k in range(5)], interval_s=100.0)
+        executed = engine.run(until=proc)
+        assert executed == [0, 1, 2, 3, 4]
+        assert engine.now >= 400.0
+        assert rt.value("y", 4) == 8
+
+    def test_stream_prunes_as_it_goes(self):
+        engine = Engine(seed=0)
+        host = CSPOTNode(engine, "ucsb")
+        rt = LaminarRuntime(engine, doubler_graph(), hosts={"ucsb": host})
+        proc = rt.run_stream(
+            [{"x": k} for k in range(10)], interval_s=10.0, keep_epochs=2
+        )
+        engine.run(until=proc)
+        with pytest.raises(KeyError):
+            rt.value("y", 0)
+        assert rt.value("y", 9) == 18
+
+    def test_stream_validation(self):
+        engine = Engine(seed=0)
+        host = CSPOTNode(engine, "ucsb")
+        rt = LaminarRuntime(engine, doubler_graph(), hosts={"ucsb": host})
+        with pytest.raises(ValueError):
+            rt.run_stream([], interval_s=0.0)
+        with pytest.raises(ValueError):
+            rt.run_stream([], interval_s=1.0, keep_epochs=0)
+
+    def test_change_detector_as_stream(self):
+        """The paper's duty-cycle program, expressed as a stream."""
+        engine = Engine(seed=1)
+        host = CSPOTNode(engine, "ucsb")
+        g = build_change_detection_graph()
+        rt = LaminarRuntime(engine, g, hosts={"ucsb": host})
+        rng = np.random.default_rng(2)
+        quiet = rng.normal(3.0, 0.3, 6)
+        windy = rng.normal(7.0, 0.3, 6)
+        cycles = [
+            {"current": quiet, "previous": quiet},
+            {"current": windy, "previous": quiet},   # the front passage
+            {"current": windy, "previous": windy},
+        ]
+        proc = rt.run_stream(cycles, interval_s=1800.0)
+        engine.run(until=proc)
+        alerts = [bool(rt.value("alert", e)) for e in (1, 2)]
+        assert alerts == [True, False]

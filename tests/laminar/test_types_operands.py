@@ -1,0 +1,104 @@
+"""Tests for the Laminar type system and single-assignment operands."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.laminar import ARRAY_F64, BOOL, F64, I64, Operand, STRING, TypeError_
+from repro.laminar.types import record_type
+
+
+class TestScalarTypes:
+    def test_i64_roundtrip(self):
+        assert I64.roundtrip(42) == 42
+        assert I64.roundtrip(-1) == -1
+
+    def test_f64_roundtrip(self):
+        assert F64.roundtrip(3.25) == 3.25
+
+    def test_bool_roundtrip(self):
+        assert BOOL.roundtrip(True) is True or BOOL.roundtrip(True) == True  # noqa: E712
+
+    def test_string_roundtrip(self):
+        assert STRING.roundtrip("héllo") == "héllo"
+
+    def test_i64_rejects_bool_and_float(self):
+        assert not I64.validate(True)
+        assert not I64.validate(1.5)
+        assert I64.validate(np.int64(3))
+
+    def test_check_raises_with_context(self):
+        with pytest.raises(TypeError_, match="operand 'x'"):
+            I64.check("nope", context="operand 'x'")
+
+    def test_array_roundtrip(self):
+        arr = np.array([1.0, 2.5, -3.0])
+        out = ARRAY_F64.roundtrip(arr)
+        assert np.array_equal(out, arr)
+
+    def test_array_accepts_lists(self):
+        assert ARRAY_F64.validate([1, 2, 3])
+        assert not ARRAY_F64.validate([[1, 2]])
+        assert not ARRAY_F64.validate("abc")
+
+    def test_record_type(self):
+        CfdCase = record_type("cfd-case", {"mesh_cells": int, "wind_mps": float})
+        val = {"mesh_cells": 1000, "wind_mps": 4.2}
+        CfdCase.check(val)
+        assert CfdCase.roundtrip(val) == val
+        assert not CfdCase.validate({"mesh_cells": 1000})  # missing field
+        assert not CfdCase.validate({"mesh_cells": 1000, "wind_mps": 4.2, "x": 1})
+
+    def test_record_type_needs_fields(self):
+        with pytest.raises(ValueError):
+            record_type("empty", {})
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=-(2**62), max_value=2**62))
+def test_i64_roundtrip_property(v):
+    assert I64.roundtrip(v) == v
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=64),
+        min_size=0,
+        max_size=50,
+    )
+)
+def test_array_roundtrip_property(values):
+    arr = np.asarray(values, dtype=np.float64)
+    assert np.array_equal(ARRAY_F64.roundtrip(arr), arr)
+
+
+class TestOperand:
+    def test_bind_and_get(self):
+        op = Operand("x", I64)
+        op.bind(0, 5)
+        assert op.get(0) == 5
+        assert op.is_bound(0)
+        assert not op.is_bound(1)
+
+    def test_single_assignment_per_epoch(self):
+        op = Operand("x", I64)
+        op.bind(0, 5)
+        with pytest.raises(TypeError_, match="single-assignment"):
+            op.bind(0, 6)
+        op.bind(1, 6)  # new epoch is fine
+        assert op.epochs() == [0, 1]
+
+    def test_type_checked_binding(self):
+        op = Operand("x", I64)
+        with pytest.raises(TypeError_):
+            op.bind(0, "not an int")
+
+    def test_get_unbound(self):
+        with pytest.raises(KeyError):
+            Operand("x", I64).get(0)
+
+    def test_negative_epoch(self):
+        with pytest.raises(ValueError):
+            Operand("x", I64).bind(-1, 5)

@@ -1,0 +1,76 @@
+"""Property tests for the Pilot Controller's Eqs (1)-(4)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpc import nd_crc
+from repro.pilot import PilotController
+from repro.simkernel import Engine
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    data_sizes=st.lists(
+        st.floats(min_value=0.0, max_value=50e6, allow_nan=False),
+        min_size=1,
+        max_size=12,
+    ),
+    threshold=st.floats(min_value=1e5, max_value=10e6),
+    total_nodes=st.integers(min_value=1, max_value=32),
+)
+def test_controller_equations_invariants(data_sizes, threshold, total_nodes):
+    """For any data-size stream:
+
+    * Eq (1): N_req = max(1, ceil(D / threshold)) exactly;
+    * Eq (3)/(4): after each decision, available pilot nodes cover
+      min(N_req, system nodes) -- the controller never leaves a request
+      uncovered within the machine's capability;
+    * Eq (4): no pilot ever exceeds the system size or walltime limits;
+    * pilots are never submitted when capacity already suffices.
+    """
+    engine = Engine(seed=0)
+    site = nd_crc(engine, total_nodes=total_nodes)
+    controller = PilotController(
+        engine, site, threshold_bytes=threshold, task_runtime_estimate_s=420.0
+    )
+    for d in data_sizes:
+        n_avail_before = controller.nodes_available()
+        decision = controller.on_data(d)
+        # Eq (1), exactly.
+        assert decision.n_req == max(1, math.ceil(d / threshold))
+        assert decision.n_avail == n_avail_before
+        # Eq (3): submit iff insufficient.
+        assert decision.submitted == (n_avail_before < decision.n_req)
+        if decision.submitted:
+            # Eq (4) clamps.
+            assert decision.pilot_nodes == min(total_nodes, decision.n_req)
+            assert decision.pilot_walltime_s <= site.cluster.max_walltime_s
+        # Post-condition: coverage up to the machine's capability.
+        covered = controller.nodes_available()
+        assert covered >= min(decision.n_req, total_nodes) or covered >= total_nodes
+
+    # The decision log matches the stream.
+    assert len(controller.decisions) == len(data_sizes)
+    # Every pilot's placeholder job was accepted by the site.
+    for pilot in controller.pilots:
+        assert pilot.job is not None
+        assert pilot.nodes <= total_nodes
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    first=st.floats(min_value=0.0, max_value=20e6, allow_nan=False),
+    second=st.floats(min_value=0.0, max_value=20e6, allow_nan=False),
+)
+def test_no_redundant_pilots_property(first, second):
+    """A second request no larger than the first never submits a new pilot."""
+    engine = Engine(seed=0)
+    site = nd_crc(engine, total_nodes=64)
+    controller = PilotController(
+        engine, site, threshold_bytes=1e6, task_runtime_estimate_s=420.0
+    )
+    controller.on_data(first)
+    decision = controller.on_data(min(second, first))
+    assert not decision.submitted

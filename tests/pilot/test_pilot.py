@@ -1,0 +1,255 @@
+"""Tests for pilots, the controller's Eqs (1)-(4), and strategies."""
+
+import pytest
+
+from repro.hpc import Job, nd_crc
+from repro.pilot import (
+    OnDemandStrategy,
+    Pilot,
+    PilotController,
+    PilotState,
+    ProactiveStrategy,
+    ReactiveStrategy,
+    Task,
+    TaskState,
+)
+from repro.simkernel import Engine
+
+
+@pytest.fixture
+def env():
+    engine = Engine(seed=2)
+    site = nd_crc(engine, total_nodes=8)
+    return engine, site
+
+
+class TestPilotLifecycle:
+    def test_pilot_activates_on_empty_cluster(self, env):
+        engine, site = env
+        pilot = Pilot(engine, site, nodes=2, walltime_s=3600.0).submit()
+        assert pilot.state is PilotState.SUBMITTED
+        engine.run(until=pilot.active)
+        assert pilot.state is PilotState.ACTIVE
+        assert pilot.queue_wait_s == 0.0
+
+    def test_pilot_masks_queue_delay_for_later_tasks(self, env):
+        engine, site = env
+        # Fill the cluster so the pilot queues.
+        site.submit(Job(name="hog", nodes=8, walltime_s=5000.0, runtime_s=5000.0))
+        pilot = Pilot(engine, site, nodes=2, walltime_s=7200.0).submit()
+        t1 = Task("first", nodes=2, runtime_s=100.0)
+        t2 = Task("second", nodes=2, runtime_s=100.0)
+
+        def body():
+            yield pilot.run_task(t1)
+            first_done = engine.now
+            yield pilot.run_task(t2)
+            return (first_done, engine.now)
+
+        first_done, second_done = engine.run(until=engine.process(body()))
+        # First task waited out the hog job's 5000 s; second ran immediately.
+        assert first_done == pytest.approx(5100.0)
+        assert second_done == pytest.approx(5200.0)
+
+    def test_task_runs_and_returns_result(self, env):
+        engine, site = env
+        pilot = Pilot(engine, site, nodes=1, walltime_s=3600.0).submit()
+        task = Task("t", nodes=1, runtime_s=60.0, fn=lambda: "payload")
+        result = engine.run(until=pilot.run_task(task))
+        assert result == "payload"
+        assert task.state is TaskState.DONE
+        assert pilot.tasks_run == 1
+
+    def test_task_bigger_than_pilot_rejected(self, env):
+        engine, site = env
+        pilot = Pilot(engine, site, nodes=1, walltime_s=3600.0).submit()
+        with pytest.raises(ValueError, match="wants 2 nodes"):
+            pilot.run_task(Task("big", nodes=2, runtime_s=1.0))
+
+    def test_task_exceeding_remaining_walltime_fails(self, env):
+        engine, site = env
+        pilot = Pilot(engine, site, nodes=1, walltime_s=100.0).submit()
+        proc = pilot.run_task(Task("slow", nodes=1, runtime_s=500.0))
+        with pytest.raises(RuntimeError, match="has .* left"):
+            engine.run(until=proc)
+
+    def test_tasks_share_pilot_nodes(self, env):
+        engine, site = env
+        pilot = Pilot(engine, site, nodes=2, walltime_s=3600.0).submit()
+        tasks = [Task(f"t{i}", nodes=1, runtime_s=100.0) for i in range(4)]
+        procs = [pilot.run_task(t) for t in tasks]
+        for p in procs:
+            engine.run(until=p)
+        # 4 single-node tasks on 2 nodes: two waves of two.
+        assert engine.now == pytest.approx(200.0)
+
+    def test_idle_accounting(self, env):
+        engine, site = env
+        pilot = Pilot(engine, site, nodes=2, walltime_s=1000.0).submit()
+        engine.run(until=pilot.run_task(Task("t", nodes=1, runtime_s=100.0)))
+        engine.run()
+        # Held 2 nodes x 1000 s, used 1 x 100 s.
+        assert pilot.idle_node_seconds() == pytest.approx(1900.0)
+
+    def test_cancel_releases_queue_slot(self, env):
+        engine, site = env
+        site.submit(Job(name="hog", nodes=8, walltime_s=500.0, runtime_s=500.0))
+        pilot = Pilot(engine, site, nodes=8, walltime_s=3600.0).submit()
+        pilot.cancel()
+        j = site.submit(Job(name="after", nodes=8, walltime_s=100.0, runtime_s=50.0))
+        engine.run()
+        assert j.start_time == pytest.approx(500.0)  # not blocked by the pilot
+
+    def test_double_submit_rejected(self, env):
+        engine, site = env
+        pilot = Pilot(engine, site, nodes=1, walltime_s=100.0).submit()
+        with pytest.raises(RuntimeError):
+            pilot.submit()
+
+
+class TestControllerEquations:
+    def _controller(self, env, threshold=1e6, estimate=420.0):
+        engine, site = env
+        return engine, site, PilotController(
+            engine, site, threshold_bytes=threshold,
+            task_runtime_estimate_s=estimate,
+        )
+
+    def test_eq1_nodes_required(self, env):
+        _, _, ctl = self._controller(env, threshold=1e6)
+        assert ctl.nodes_required(0) == 1          # max(1, ...)
+        assert ctl.nodes_required(0.5e6) == 1
+        assert ctl.nodes_required(1.0e6) == 1
+        assert ctl.nodes_required(3.5e6) == 4      # ceil
+        with pytest.raises(ValueError):
+            ctl.nodes_required(-1)
+
+    def test_eq2_available_counts_submitted_and_active(self, env):
+        engine, site, ctl = (*self._controller(env),)
+        assert ctl.nodes_available() == 0
+        ctl.on_data(2.5e6)  # submits a 3-node pilot
+        assert ctl.nodes_available() == 3
+        engine.run(until=ctl.pilots[0].active)
+        assert ctl.nodes_available() == 3
+
+    def test_eq3_no_submit_when_capacity_suffices(self, env):
+        engine, site, ctl = (*self._controller(env),)
+        d1 = ctl.on_data(4e6)
+        assert d1.submitted and d1.pilot_nodes == 4
+        d2 = ctl.on_data(2e6)  # 4 >= 2: reuse
+        assert not d2.submitted
+        assert len(ctl.pilots) == 1
+
+    def test_eq3_submit_when_insufficient(self, env):
+        engine, site, ctl = (*self._controller(env),)
+        ctl.on_data(2e6)
+        d = ctl.on_data(6e6)  # needs 6 > 2 available
+        assert d.submitted
+        assert d.pilot_nodes == 6
+
+    def test_eq4_clamped_to_system_size(self, env):
+        engine, site, ctl = (*self._controller(env),)  # site has 8 nodes
+        d = ctl.on_data(100e6)  # wants 100 nodes
+        assert d.n_req == 100
+        assert d.pilot_nodes == 8  # min(system nodes, N_req)
+
+    def test_eq4_walltime_clamped(self, env):
+        engine, site = env
+        ctl = PilotController(
+            engine, site, threshold_bytes=1e6,
+            task_runtime_estimate_s=1e9, walltime_factor=1.0,
+        )
+        d = ctl.on_data(1e6)
+        assert d.pilot_walltime_s == site.cluster.max_walltime_s
+
+    def test_bootstrap_single_node(self, env):
+        engine, site, ctl = (*self._controller(env),)
+        pilot = ctl.bootstrap()
+        assert pilot.nodes == 1
+
+    def test_best_pilot_tightest_fit(self, env):
+        engine, site, ctl = (*self._controller(env),)
+        ctl.on_data(2e6)
+        ctl.on_data(6e6)
+        engine.run(until=ctl.pilots[1].active)
+        best = ctl.best_pilot_for(2)
+        assert best is ctl.pilots[0]  # 2-node pilot, not the 6-node one
+
+    def test_retire_finished(self, env):
+        engine, site, ctl = (*self._controller(env, estimate=10.0),)
+        ctl.on_data(1e6)
+        engine.run()  # pilot walltime expires
+        assert ctl.retire_finished() == 1
+        assert ctl.pilots == []
+
+    def test_invalid_params(self, env):
+        engine, site = env
+        with pytest.raises(ValueError):
+            PilotController(engine, site, threshold_bytes=0, task_runtime_estimate_s=1)
+        with pytest.raises(ValueError):
+            PilotController(engine, site, threshold_bytes=1, task_runtime_estimate_s=0)
+
+
+class TestStrategies:
+    def _loaded_site(self, engine):
+        # A cluster busy enough that fresh submissions wait ~1 h.
+        site = nd_crc(engine, total_nodes=2)
+        site.submit(Job(name="hog", nodes=2, walltime_s=3600.0, runtime_s=3600.0))
+        return site
+
+    def test_on_demand_pays_queue_delay_once(self):
+        engine = Engine(seed=3)
+        site = self._loaded_site(engine)
+        strat = OnDemandStrategy(engine, site, pilot_nodes=1, pilot_walltime_s=4 * 3600.0)
+
+        def body():
+            yield strat.handle_trigger(Task("a", nodes=1, runtime_s=420.0))
+            first = engine.now
+            yield strat.handle_trigger(Task("b", nodes=1, runtime_s=420.0))
+            return (first, engine.now)
+
+        first, second = engine.run(until=engine.process(body()))
+        assert first == pytest.approx(3600.0 + 420.0)
+        assert second - first == pytest.approx(420.0)  # warm pilot: no queue
+
+    def test_reactive_pays_queue_delay_every_time(self):
+        engine = Engine(seed=3)
+        site = nd_crc(engine, total_nodes=2)
+        strat = ReactiveStrategy(engine, site, pilot_nodes=1, pilot_walltime_s=3600.0)
+
+        def body():
+            yield strat.handle_trigger(Task("a", nodes=1, runtime_s=100.0))
+            yield strat.handle_trigger(Task("b", nodes=1, runtime_s=100.0))
+
+        engine.run(until=engine.process(body()))
+        stats = strat.finalize()
+        # Reactive cancels after each task: near-zero idle node time.
+        assert stats.total_idle_node_s < 10.0
+        assert stats.triggers == 2
+
+    def test_proactive_low_latency_high_idle(self):
+        engine = Engine(seed=3)
+        site = nd_crc(engine, total_nodes=4)
+        strat = ProactiveStrategy(
+            engine, site, pilot_nodes=1, pilot_walltime_s=2 * 3600.0
+        )
+        strat.start(horizon_s=4 * 3600.0)
+
+        def body():
+            yield engine.timeout(1800.0)  # trigger arrives mid-stream
+            yield strat.handle_trigger(Task("a", nodes=1, runtime_s=420.0))
+            return engine.now
+
+        done_at = engine.run(until=engine.process(body()))
+        assert done_at == pytest.approx(1800.0 + 420.0)  # zero queue wait
+        engine.run(until=4 * 3600.0)
+        stats = strat.finalize()
+        assert stats.total_idle_node_s > 3600.0  # the cost of warmth
+
+    def test_proactive_double_start_rejected(self):
+        engine = Engine(seed=3)
+        site = nd_crc(engine)
+        strat = ProactiveStrategy(engine, site, pilot_nodes=1, pilot_walltime_s=3600.0)
+        strat.start(100.0)
+        with pytest.raises(RuntimeError):
+            strat.start(100.0)

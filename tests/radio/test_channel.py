@@ -1,0 +1,74 @@
+"""Tests for the stochastic channel model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.channel import ChannelModel, LTE_CHANNEL, NR_CHANNEL
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12)
+
+
+class TestChannelModel:
+    def test_cqi_draws_in_ladder(self, rng):
+        ch = ChannelModel(mean_cqi=10.0, cqi_sigma=3.0)
+        draws = ch.draw_cqi(rng, n=500)
+        assert draws.min() >= 1 and draws.max() <= 15
+        assert draws.dtype.kind == "i"
+
+    def test_cqi_centers_on_mean(self, rng):
+        ch = ChannelModel(mean_cqi=8.0, cqi_sigma=0.5)
+        draws = ch.draw_cqi(rng, n=2000)
+        assert abs(draws.mean() - 8.0) < 0.2
+
+    def test_zero_sigma_is_deterministic(self, rng):
+        ch = ChannelModel(mean_cqi=10.0, cqi_sigma=0.0)
+        assert set(ch.draw_cqi(rng, 50).tolist()) == {10}
+
+    def test_fading_mean_one(self, rng):
+        ch = ChannelModel(fading_sigma=0.1)
+        fades = ch.draw_fading(rng, n=20000)
+        assert fades.mean() == pytest.approx(1.0, abs=0.01)
+        assert np.all(fades > 0)
+
+    def test_jitter_scale_widens_distribution(self, rng):
+        ch = ChannelModel(fading_sigma=0.06)
+        calm = ch.draw_fading(rng, 5000, jitter_scale=1.0)
+        hot = ch.draw_fading(rng, 5000, jitter_scale=3.0)
+        assert hot.std() > 2 * calm.std()
+
+    def test_jitter_scale_validation(self, rng):
+        with pytest.raises(ValueError):
+            ChannelModel().draw_fading(rng, 1, jitter_scale=0.5)
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            ChannelModel(mean_cqi=0.5)
+        with pytest.raises(ValueError):
+            ChannelModel(cqi_sigma=-1.0)
+        with pytest.raises(ValueError):
+            ChannelModel(gain=0.0)
+
+    def test_presets(self):
+        # LTE runs a lower operating point than NR (16QAM vs 64QAM class).
+        assert LTE_CHANNEL.mean_cqi < NR_CHANNEL.mean_cqi
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    mean_cqi=st.floats(min_value=1.0, max_value=15.0),
+    sigma=st.floats(min_value=0.0, max_value=5.0),
+    fading=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_channel_draws_always_valid_property(mean_cqi, sigma, fading, seed):
+    rng = np.random.default_rng(seed)
+    ch = ChannelModel(mean_cqi=mean_cqi, cqi_sigma=sigma, fading_sigma=fading)
+    cqi = ch.draw_cqi(rng, 50)
+    assert np.all((1 <= cqi) & (cqi <= 15))
+    fades = ch.draw_fading(rng, 50)
+    assert np.all(np.isfinite(fades)) and np.all(fades > 0)

@@ -1,0 +1,89 @@
+"""Unit tests for modem and host-device models."""
+
+import math
+
+import pytest
+
+from repro.radio.devices import Device, DeviceClass, LAPTOP, RASPBERRY_PI, SMARTPHONE
+from repro.radio.duplex import DuplexMode
+from repro.radio.modems import (
+    Modem,
+    PHONE_4G_INTERNAL,
+    PHONE_5G_INTERNAL,
+    RM530N_GL,
+    SIM7600G_H,
+)
+
+
+class TestModems:
+    def test_sim7600_is_lte_only(self):
+        assert SIM7600G_H.supports("lte", DuplexMode.FDD)
+        assert not SIM7600G_H.supports("nr", DuplexMode.FDD)
+
+    def test_rm530_supports_all_tested_modes(self):
+        for tech, duplex in [("nr", DuplexMode.FDD), ("nr", DuplexMode.TDD), ("lte", DuplexMode.FDD)]:
+            assert RM530N_GL.supports(tech, duplex)
+
+    def test_unsupported_mode_raises(self):
+        with pytest.raises(ValueError, match="does not support"):
+            SIM7600G_H.efficiency("nr", DuplexMode.TDD)
+        with pytest.raises(ValueError):
+            SIM7600G_H.uplink_cap_bps("nr", DuplexMode.FDD)
+
+    def test_phone_5g_tdd_uplink_capped(self):
+        # The Pixel's private-band TDD uplink limitation (14.4 Mbps measured).
+        assert PHONE_5G_INTERNAL.uplink_cap_bps("nr", DuplexMode.TDD) == 15e6
+        assert math.isinf(PHONE_5G_INTERNAL.uplink_cap_bps("nr", DuplexMode.FDD))
+
+    def test_phone_4g_unconstrained(self):
+        assert math.isinf(PHONE_4G_INTERNAL.uplink_cap_bps("lte", DuplexMode.FDD))
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            Modem("bad", frozenset({"lte-fdd"}), efficiency_by_mode={"lte-fdd": 1.5})
+
+    def test_invalid_usb_generation(self):
+        with pytest.raises(ValueError):
+            Modem("bad", frozenset(), usb_generation=1)
+
+
+class TestDevices:
+    def test_classes(self):
+        assert LAPTOP.device_class is DeviceClass.LAPTOP
+        assert RASPBERRY_PI.device_class is DeviceClass.RASPBERRY_PI
+        assert SMARTPHONE.device_class is DeviceClass.SMARTPHONE
+
+    def test_laptop_sim7600_attach_cap(self):
+        # Paper: laptop + SIM7600G-H plateaus near 10.4 Mbps past 10 MHz.
+        assert LAPTOP.attach_cap_bps(SIM7600G_H) == 10.5e6
+
+    def test_rpi_sim7600_attach_cap_much_lower(self):
+        # Paper: RPi + SIM7600G-H measures only 2.23 Mbps at 20 MHz.
+        assert RASPBERRY_PI.attach_cap_bps(SIM7600G_H) < LAPTOP.attach_cap_bps(SIM7600G_H)
+
+    def test_attach_cap_default_unlimited(self):
+        assert math.isinf(SMARTPHONE.attach_cap_bps(RM530N_GL))
+
+    def test_rpi_beats_laptop_on_nr(self):
+        # Paper Fig. 4: RPi outperforms laptop on both 5G FDD and TDD.
+        for duplex in (DuplexMode.FDD, DuplexMode.TDD):
+            assert RASPBERRY_PI.efficiency("nr", duplex) * 1.0 > 0
+        assert RASPBERRY_PI.efficiency("nr", DuplexMode.TDD) > LAPTOP.efficiency(
+            "nr", DuplexMode.TDD
+        )
+
+    def test_laptop_nr_fdd_cap(self):
+        assert LAPTOP.uplink_cap_bps("nr", DuplexMode.FDD) == 41e6
+        assert math.isinf(LAPTOP.uplink_cap_bps("nr", DuplexMode.TDD))
+
+    def test_default_efficiency_for_unknown_mode(self):
+        dev = Device("generic", DeviceClass.LAPTOP)
+        assert dev.efficiency("nr", DuplexMode.FDD) == 0.9
+
+    def test_invalid_efficiency(self):
+        with pytest.raises(ValueError):
+            Device("bad", DeviceClass.LAPTOP, efficiency_by_mode={"nr-fdd": 0.0})
+
+    def test_invalid_usb(self):
+        with pytest.raises(ValueError):
+            Device("bad", DeviceClass.LAPTOP, usb_generation=4)

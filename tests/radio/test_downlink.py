@@ -1,0 +1,72 @@
+"""Tests for downlink sampling (the return path's transport)."""
+
+import numpy as np
+import pytest
+
+from repro.radio import NetworkDeployment
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)
+
+
+class TestDownlink:
+    def test_fdd_downlink_comparable_to_uplink(self, rng):
+        # Dedicated carriers: downlink PHY budget equals uplink's here.
+        net = NetworkDeployment.build("5g-fdd", 20)
+        ue = net.add_ue("raspberry-pi")
+        dl = net.gnb.downlink_samples(rng, 80)[ue.ue_id].mean()
+        ul = net.gnb.uplink_samples(rng, 80)[ue.ue_id].mean()
+        assert dl == pytest.approx(ul, rel=0.15)
+
+    def test_tdd_downlink_exceeds_uplink(self, rng):
+        # The DDSUU pattern gives downlink more slots than uplink even in
+        # this uplink-heavy deployment (2.375 D-equivalents vs 2.25 U).
+        net = NetworkDeployment.build("5g-tdd", 40)
+        ue = net.add_ue("raspberry-pi")
+        dl = net.gnb.downlink_samples(rng, 80)[ue.ue_id].mean()
+        ul = net.gnb.uplink_samples(rng, 80)[ue.ue_id].mean()
+        assert dl > 0.8 * ul  # same order; pattern-dependent ratio
+
+    def test_downlink_ignores_uplink_caps(self, rng):
+        # The phone's 15 Mbps NR-TDD *uplink* cap is a TX-side limit; its
+        # downlink is not throttled by it.
+        net = NetworkDeployment.build("5g-tdd", 50)
+        ue = net.add_ue("smartphone")
+        dl = net.gnb.downlink_samples(rng, 80)[ue.ue_id].mean() / 1e6
+        ul = net.gnb.uplink_samples(rng, 80)[ue.ue_id].mean() / 1e6
+        assert ul < 20.0       # capped (paper: 14.4)
+        assert dl > 2 * ul     # reception unconstrained
+
+    def test_two_ues_share_downlink(self, rng):
+        net = NetworkDeployment.build("5g-fdd", 20)
+        u1, u2 = net.add_ue("raspberry-pi"), net.add_ue("raspberry-pi")
+        res = net.gnb.downlink_samples(rng, 60)
+        m1, m2 = res[u1.ue_id].mean(), res[u2.ue_id].mean()
+        assert abs(m1 - m2) / max(m1, m2) < 0.2
+        solo = NetworkDeployment.build("5g-fdd", 20)
+        s = solo.add_ue("raspberry-pi")
+        solo_mean = solo.gnb.downlink_samples(rng, 60)[s.ue_id].mean()
+        assert m1 + m2 < 1.1 * solo_mean
+
+    def test_validation(self, rng):
+        net = NetworkDeployment.build("5g-fdd", 20)
+        with pytest.raises(ValueError, match="no active UEs"):
+            net.gnb.downlink_samples(rng, 10)
+        net.add_ue("raspberry-pi")
+        with pytest.raises(ValueError):
+            net.gnb.downlink_samples(rng, 0)
+
+
+class TestDownlinkIperf:
+    def test_downlink_test_accounts_downlink_bytes(self, rng):
+        from repro.radio import run_downlink_test
+
+        net = NetworkDeployment.build("5g-fdd", 20)
+        ue = net.add_ue("raspberry-pi")
+        res = run_downlink_test(net.gnb, net.core, [ue], rng, n_samples=20)
+        result = res[ue.ue_id]
+        assert result.total_bytes > 0
+        assert ue.session.downlink_bytes == result.total_bytes
+        assert ue.session.uplink_bytes == 0

@@ -1,0 +1,88 @@
+"""Unit tests for TDD patterns and the SDR front-end model."""
+
+import pytest
+
+from repro.radio.duplex import TDD_DL_HEAVY, TDD_UL_HEAVY, TddPattern
+from repro.radio.sdr import SdrFrontEnd, USRP_B210
+
+
+class TestTddPattern:
+    def test_uplink_fraction_ul_heavy(self):
+        assert TDD_UL_HEAVY.uplink_fraction == pytest.approx(0.45)
+
+    def test_uplink_fraction_dl_heavy_smaller(self):
+        assert TDD_DL_HEAVY.uplink_fraction < TDD_UL_HEAVY.uplink_fraction
+
+    def test_all_uplink(self):
+        assert TddPattern("UUUUU").uplink_fraction == 1.0
+
+    def test_all_downlink(self):
+        assert TddPattern("DDDD").uplink_fraction == 0.0
+
+    def test_special_share_contributes(self):
+        p = TddPattern("DS", special_uplink_share=0.5)
+        assert p.uplink_fraction == pytest.approx(0.25)
+
+    def test_lowercase_normalized(self):
+        assert TddPattern("ddsuu").pattern == "DDSUU"
+
+    def test_invalid_slots_rejected(self):
+        with pytest.raises(ValueError, match="invalid slot types"):
+            TddPattern("DXU")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TddPattern("")
+
+    def test_special_share_bounds(self):
+        with pytest.raises(ValueError):
+            TddPattern("DSU", special_uplink_share=1.5)
+
+
+class TestSdrFrontEnd:
+    def test_required_sample_rate(self):
+        # srsRAN-style 1.2288x: 20 MHz -> 24.58 MS/s, 50 MHz -> 61.44 MS/s.
+        assert USRP_B210.required_sample_rate_msps(20) == pytest.approx(24.576)
+        assert USRP_B210.required_sample_rate_msps(50) == pytest.approx(61.44)
+
+    def test_supports_up_to_50mhz(self):
+        assert USRP_B210.supports(50)
+        assert not USRP_B210.supports(60)
+
+    def test_no_derate_within_budget(self):
+        assert USRP_B210.derate(20, active_ues=1) == 1.0
+        assert USRP_B210.derate(20, active_ues=2) == 1.0
+
+    def test_derate_above_budget(self):
+        d = USRP_B210.derate(50, active_ues=1)
+        assert 0.5 < d < 1.0
+
+    def test_derate_worsens_with_ues(self):
+        assert USRP_B210.derate(50, active_ues=2) < USRP_B210.derate(50, active_ues=1)
+
+    def test_derate_floor(self):
+        hot = SdrFrontEnd("hot", 61.44, 10.0, multi_ue_penalty=0.9)
+        assert hot.derate(50, active_ues=8) == pytest.approx(0.05)
+
+    def test_derate_unsupported_bandwidth_raises(self):
+        with pytest.raises(ValueError, match="cannot sample"):
+            USRP_B210.derate(60)
+
+    def test_derate_invalid_ues(self):
+        with pytest.raises(ValueError):
+            USRP_B210.derate(20, active_ues=0)
+
+    def test_jitter_grows_near_ceiling(self):
+        assert USRP_B210.jitter_scale(20) == 1.0
+        assert USRP_B210.jitter_scale(50) > 1.0
+        assert USRP_B210.jitter_scale(50, active_ues=2) > USRP_B210.jitter_scale(50)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            SdrFrontEnd("bad", max_sample_rate_msps=10, sustainable_rate_msps=20)
+        with pytest.raises(ValueError):
+            SdrFrontEnd("bad", 61, 46, multi_ue_penalty=1.5)
+
+    def test_negative_bandwidth(self):
+        with pytest.raises(ValueError):
+            USRP_B210.required_sample_rate_msps(0)

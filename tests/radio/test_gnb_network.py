@@ -1,0 +1,231 @@
+"""Unit + integration tests for the gNB, deployment builder and iperf layer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.radio import (
+    GNodeB,
+    NetworkDeployment,
+    SliceConfig,
+    run_uplink_test,
+)
+from repro.radio.phy import CarrierConfig
+from repro.radio.duplex import DuplexMode
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def build(net="5g-fdd", bw=20, **kw):
+    return NetworkDeployment.build(net, bw, **kw)
+
+
+class TestAttachPipeline:
+    def test_add_ue_walks_full_pipeline(self):
+        net = build()
+        ue = net.add_ue("raspberry-pi")
+        assert net.core.is_registered(ue.sim.imsi)
+        assert ue.attached
+        assert ue.session.slice_name == "default"
+        assert ue in net.gnb.attached_ues
+
+    def test_remove_ue_releases_everything(self):
+        net = build()
+        ue = net.add_ue("laptop")
+        net.remove_ue(ue)
+        assert not ue.attached
+        assert net.gnb.attached_ues == []
+
+    def test_wrong_modem_rejected_at_radio_attach(self):
+        # A 4G-only SIM7600 cannot attach to an NR cell; the deployment
+        # builder picks the right modem per technology, so build one by hand.
+        from repro.radio.modems import SIM7600G_H
+        from repro.radio.devices import LAPTOP
+        from repro.radio.sim_cards import SimProvisioner
+        from repro.radio.ue import UserEquipment
+
+        net = build()
+        sim = SimProvisioner().provision()
+        ue = UserEquipment("rogue", LAPTOP, SIM7600G_H, sim)
+        with pytest.raises(ValueError, match="does not support"):
+            net.gnb.attach(ue)
+
+    def test_duplicate_attach_rejected(self):
+        net = build()
+        ue = net.add_ue("laptop")
+        with pytest.raises(ValueError, match="already attached"):
+            net.gnb.attach(ue)
+
+    def test_detach_unknown(self):
+        net = build()
+        with pytest.raises(KeyError):
+            net.gnb.detach("ghost")
+
+    def test_slice_bound_ue_needs_existing_slice(self):
+        from repro.radio.core5g import SessionError
+
+        cfg = SliceConfig.complementary_pair(0.5, "a", "b")
+        net = build(slice_config=cfg)
+        # The core's SMF rejects the unknown slice before the radio attach.
+        with pytest.raises(SessionError, match="not configured"):
+            net.add_ue("raspberry-pi", slice_name="ghost")
+
+    def test_unknown_network_flavour(self):
+        with pytest.raises(ValueError, match="unknown network"):
+            NetworkDeployment.build("6g-thz", 100)
+
+    def test_slicing_on_4g_rejected(self):
+        with pytest.raises(ValueError, match="5G capability"):
+            NetworkDeployment.build("4g-fdd", 20, slice_config=SliceConfig.complementary_pair(0.5))
+
+    def test_unknown_device_class(self):
+        net = build()
+        with pytest.raises(ValueError, match="unknown device class"):
+            net.add_ue("toaster")
+
+    def test_sdr_bandwidth_validated(self):
+        carrier = CarrierConfig("nr", 80, DuplexMode.TDD)
+        from repro.radio.presets import SDR_5G
+        with pytest.raises(ValueError, match="cannot serve"):
+            GNodeB(name="x", carrier=carrier, sdr=SDR_5G)
+
+
+class TestThroughputSampling:
+    def test_samples_shape_and_positivity(self, rng):
+        net = build()
+        ue = net.add_ue("raspberry-pi")
+        res = net.measure_uplink([ue], rng, n_samples=50)[ue.ue_id]
+        assert res.samples_bps.shape == (50,)
+        assert np.all(res.samples_bps > 0)
+
+    def test_uplink_bytes_accounted_through_core(self, rng):
+        net = build()
+        ue = net.add_ue("raspberry-pi")
+        res = net.measure_uplink([ue], rng)[ue.ue_id]
+        assert ue.session.uplink_bytes == res.total_bytes
+        assert net.core.total_uplink_bytes() == res.total_bytes
+
+    def test_unattached_ue_rejected(self, rng):
+        net = build()
+        ue = net.add_ue("raspberry-pi")
+        ue.session.active = False
+        with pytest.raises(ValueError, match="no active PDU session"):
+            run_uplink_test(net.gnb, net.core, [ue], rng)
+
+    def test_empty_ue_list_rejected(self, rng):
+        net = build()
+        with pytest.raises(ValueError):
+            run_uplink_test(net.gnb, net.core, [], rng)
+
+    def test_bad_sample_count(self, rng):
+        net = build()
+        ue = net.add_ue("raspberry-pi")
+        with pytest.raises(ValueError):
+            net.measure_uplink([ue], rng, n_samples=0)
+
+    def test_deterministic_given_seed(self):
+        def one_run():
+            net = build()
+            ue = net.add_ue("raspberry-pi")
+            return net.measure_uplink([ue], np.random.default_rng(7))[ue.ue_id]
+
+        a, b = one_run(), one_run()
+        assert np.array_equal(a.samples_bps, b.samples_bps)
+
+    def test_iperf_json_shape(self, rng):
+        net = build()
+        ue = net.add_ue("laptop")
+        res = net.measure_uplink([ue], rng, n_samples=10)[ue.ue_id]
+        j = res.to_json_dict()
+        assert len(j["intervals"]) == 10
+        assert j["end"]["sum_sent"]["bytes"] == res.total_bytes
+
+
+class TestCalibrationShape:
+    """Qualitative shape assertions against the paper's Fig. 4-6 claims."""
+
+    def _single(self, net, bw, dev, rng, n=60):
+        deployment = build(net, bw)
+        ue = deployment.add_ue(dev)
+        return deployment.measure_uplink([ue], rng, n_samples=n)[ue.ue_id].mean_mbps
+
+    def test_4g_device_ordering_at_20mhz(self, rng):
+        phone = self._single("4g-fdd", 20, "smartphone", rng)
+        laptop = self._single("4g-fdd", 20, "laptop", rng)
+        rpi = self._single("4g-fdd", 20, "raspberry-pi", rng)
+        assert phone > laptop > rpi
+        assert phone / laptop > 3  # paper: 43.8 vs 10.4
+        assert laptop / rpi > 3    # paper: 10.4 vs 2.2
+
+    def test_5g_fdd_ordering_at_20mhz(self, rng):
+        phone = self._single("5g-fdd", 20, "smartphone", rng)
+        rpi = self._single("5g-fdd", 20, "raspberry-pi", rng)
+        laptop = self._single("5g-fdd", 20, "laptop", rng)
+        assert phone > rpi > laptop  # paper: 58.9 > 52.4 > 40.8
+        assert laptop > 30           # all devices improve markedly over 4G
+
+    def test_5g_tdd_ordering_at_50mhz(self, rng):
+        rpi = self._single("5g-tdd", 50, "raspberry-pi", rng)
+        laptop = self._single("5g-tdd", 50, "laptop", rng)
+        phone = self._single("5g-tdd", 50, "smartphone", rng)
+        assert rpi > laptop > phone  # paper: 66.0 > 58.3 > 14.4
+        assert rpi / phone > 3
+
+    def test_throughput_scales_with_bandwidth_5g_fdd(self, rng):
+        means = [self._single("5g-fdd", bw, "smartphone", rng) for bw in (5, 10, 15, 20)]
+        assert means == sorted(means)
+
+    def test_tdd_needs_wide_bandwidth_to_beat_fdd(self, rng):
+        fdd20 = self._single("5g-fdd", 20, "raspberry-pi", rng)
+        tdd20 = self._single("5g-tdd", 20, "raspberry-pi", rng)
+        tdd50 = self._single("5g-tdd", 50, "raspberry-pi", rng)
+        assert tdd20 < fdd20 < tdd50
+
+    def test_two_user_fair_sharing_5g(self, rng):
+        net = build("5g-fdd", 20)
+        u1, u2 = net.add_ue("raspberry-pi"), net.add_ue("raspberry-pi")
+        res = net.measure_uplink([u1, u2], rng)
+        m1, m2 = res[u1.ue_id].mean_mbps, res[u2.ue_id].mean_mbps
+        assert abs(m1 - m2) / max(m1, m2) < 0.15  # "fair sharing"
+
+    def test_two_user_tdd_drops_at_50mhz(self, rng):
+        def agg(bw):
+            net = build("5g-tdd", bw)
+            ues = [net.add_ue("laptop"), net.add_ue("laptop")]
+            res = net.measure_uplink(ues, rng)
+            return sum(r.mean_mbps for r in res.values())
+
+        assert agg(50) < agg(40)  # paper: SDR limitation at 50 MHz
+
+    def test_slicing_throughput_tracks_prb_share(self, rng):
+        from repro.radio.presets import (
+            RPI1_CHANNEL,
+            RPI1_UNIT_CAP_BPS,
+            RPI2_CHANNEL,
+            RPI2_UNIT_CAP_BPS,
+        )
+
+        means = {}
+        for pct in (10, 50, 90):
+            cfg = SliceConfig.complementary_pair(pct / 100, "s1", "s2")
+            net = build("5g-tdd", 40, slice_config=cfg)
+            r1 = net.add_ue(
+                "raspberry-pi", ue_id="rpi1", channel=RPI1_CHANNEL,
+                unit_cap_bps=RPI1_UNIT_CAP_BPS, slice_name="s1",
+            )
+            r2 = net.add_ue(
+                "raspberry-pi", ue_id="rpi2", channel=RPI2_CHANNEL,
+                unit_cap_bps=RPI2_UNIT_CAP_BPS, slice_name="s2",
+            )
+            res = net.measure_uplink([r1, r2], rng)
+            means[pct] = (res["rpi1"].mean_mbps, res["rpi2"].mean_mbps)
+        # Monotone in share for rpi1; rpi2 complementary-monotone.
+        assert means[10][0] < means[50][0] < means[90][0]
+        assert means[10][1] > means[50][1] > means[90][1]
+        # Midpoint comparable between units (paper: 23.91 vs 25.22).
+        m1, m2 = means[50]
+        assert abs(m1 - m2) / max(m1, m2) < 0.2

@@ -1,0 +1,132 @@
+"""Unit tests for the PHY model."""
+
+import pytest
+
+from repro.radio.duplex import DuplexMode, TDD_UL_HEAVY
+from repro.radio.phy import (
+    CarrierConfig,
+    Numerology,
+    prb_count,
+    re_rate,
+    spectral_efficiency,
+)
+
+
+class TestPrbCount:
+    def test_lte_table_values(self):
+        assert prb_count("lte", Numerology.MU0_15KHZ, 5) == 25
+        assert prb_count("lte", Numerology.MU0_15KHZ, 10) == 50
+        assert prb_count("lte", Numerology.MU0_15KHZ, 15) == 75
+        assert prb_count("lte", Numerology.MU0_15KHZ, 20) == 100
+
+    def test_nr_fdd_table_values(self):
+        assert prb_count("nr", Numerology.MU0_15KHZ, 5) == 25
+        assert prb_count("nr", Numerology.MU0_15KHZ, 20) == 106
+
+    def test_nr_tdd_table_values(self):
+        assert prb_count("nr", Numerology.MU1_30KHZ, 40) == 106
+        assert prb_count("nr", Numerology.MU1_30KHZ, 50) == 133
+
+    def test_unknown_technology(self):
+        with pytest.raises(ValueError, match="technology"):
+            prb_count("wimax", Numerology.MU0_15KHZ, 10)
+
+    def test_invalid_bandwidth_lists_valid_ones(self):
+        with pytest.raises(ValueError, match="valid bandwidths"):
+            prb_count("lte", Numerology.MU0_15KHZ, 7)
+
+    def test_case_insensitive(self):
+        assert prb_count("LTE", Numerology.MU0_15KHZ, 10) == 50
+
+
+class TestNumerology:
+    def test_subcarrier_spacing(self):
+        assert Numerology.MU0_15KHZ.subcarrier_spacing_hz == 15_000
+        assert Numerology.MU1_30KHZ.subcarrier_spacing_hz == 30_000
+
+    def test_slot_rate_doubles(self):
+        assert Numerology.MU0_15KHZ.slots_per_second == 1000
+        assert Numerology.MU1_30KHZ.slots_per_second == 2000
+
+
+class TestSpectralEfficiency:
+    def test_monotone_in_cqi(self):
+        effs = [spectral_efficiency(c) for c in range(1, 16)]
+        assert effs == sorted(effs)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            spectral_efficiency(0)
+        with pytest.raises(ValueError):
+            spectral_efficiency(16)
+
+    def test_known_values(self):
+        assert spectral_efficiency(8) == pytest.approx(3.3223)
+        assert spectral_efficiency(10) == pytest.approx(4.5234)
+
+
+class TestReRate:
+    def test_lte_20mhz(self):
+        # 100 PRB x 12 x 14 x 1000 slots/s = 16.8M RE/s.
+        assert re_rate(100, Numerology.MU0_15KHZ) == pytest.approx(16.8e6)
+
+    def test_30khz_doubles_per_prb(self):
+        assert re_rate(1, Numerology.MU1_30KHZ) == 2 * re_rate(1, Numerology.MU0_15KHZ)
+
+    def test_negative_prbs(self):
+        with pytest.raises(ValueError):
+            re_rate(-1, Numerology.MU0_15KHZ)
+
+
+class TestCarrierConfig:
+    def test_defaults_fdd_15khz(self):
+        c = CarrierConfig("nr", 20, DuplexMode.FDD)
+        assert c.numerology is Numerology.MU0_15KHZ
+        assert c.uplink_fraction == 1.0
+        assert c.n_prbs == 106
+
+    def test_defaults_tdd_30khz(self):
+        c = CarrierConfig("nr", 40, DuplexMode.TDD, tdd_pattern=TDD_UL_HEAVY)
+        assert c.numerology is Numerology.MU1_30KHZ
+        assert c.n_prbs == 106
+        assert c.uplink_fraction == pytest.approx(0.45)
+
+    def test_lte_tdd_rejected(self):
+        with pytest.raises(ValueError, match="FDD-only"):
+            CarrierConfig("lte", 20, DuplexMode.TDD)
+
+    def test_invalid_bandwidth_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            CarrierConfig("nr", 23, DuplexMode.FDD)
+
+    def test_overhead_bounds(self):
+        with pytest.raises(ValueError):
+            CarrierConfig("nr", 20, DuplexMode.FDD, control_overhead=1.0)
+
+    def test_uplink_phy_rate_20mhz_nr_fdd(self):
+        # 106 PRB x 168k RE/s x 4.5234 b/RE x 0.86 = 69.3 Mbps at CQI 10.
+        c = CarrierConfig("nr", 20, DuplexMode.FDD)
+        assert c.uplink_phy_rate(10) == pytest.approx(69.3e6, rel=0.01)
+
+    def test_tdd_rate_scaled_by_uplink_fraction(self):
+        fdd = CarrierConfig("nr", 20, DuplexMode.FDD)
+        tdd = CarrierConfig("nr", 20, DuplexMode.TDD, tdd_pattern=TDD_UL_HEAVY)
+        # TDD at 30 kHz has fewer PRBs (51 vs 106) but double the slot rate,
+        # then the 0.45 uplink fraction applies.
+        expected = (
+            fdd.uplink_phy_rate(10) * (51 * 2 / 106) * 0.45
+        )
+        assert tdd.uplink_phy_rate(10) == pytest.approx(expected, rel=1e-9)
+
+    def test_rate_per_prb_consistency(self):
+        c = CarrierConfig("nr", 20, DuplexMode.FDD)
+        assert c.uplink_rate_per_prb(10) * c.n_prbs == pytest.approx(
+            c.uplink_phy_rate(10)
+        )
+
+    def test_phy_rate_monotone_in_bandwidth(self):
+        rates = [
+            CarrierConfig("nr", bw, DuplexMode.FDD).uplink_phy_rate(10)
+            for bw in (5, 10, 15, 20)
+        ]
+        assert rates == sorted(rates)

@@ -1,0 +1,121 @@
+"""Unit and property tests for MAC schedulers (PRB conservation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.scheduler import (
+    ProportionalFairScheduler,
+    RoundRobinScheduler,
+    UeDemand,
+)
+
+
+def _demands(wants):
+    return [UeDemand(f"ue{i}", prbs_wanted=w) for i, w in enumerate(wants)]
+
+
+class TestRoundRobin:
+    def test_equal_split(self):
+        alloc = RoundRobinScheduler().allocate(_demands([100, 100]), 100)
+        assert alloc == {"ue0": 50, "ue1": 50}
+
+    def test_water_filling_releases_excess(self):
+        # ue0 only wants 10; the other 90 go to ue1.
+        alloc = RoundRobinScheduler().allocate(_demands([10, 100]), 100)
+        assert alloc == {"ue0": 10, "ue1": 90}
+
+    def test_budget_not_exceeded_with_remainder(self):
+        alloc = RoundRobinScheduler().allocate(_demands([100, 100, 100]), 100)
+        assert sum(alloc.values()) == 100
+        assert max(alloc.values()) - min(alloc.values()) <= 1
+
+    def test_remainder_rotates(self):
+        sched = RoundRobinScheduler()
+        first = sched.allocate(_demands([1, 1, 1]), 2)
+        second = sched.allocate(_demands([1, 1, 1]), 2)
+        starved_first = {u for u, g in first.items() if g == 0}
+        starved_second = {u for u, g in second.items() if g == 0}
+        assert starved_first != starved_second
+
+    def test_zero_budget(self):
+        alloc = RoundRobinScheduler().allocate(_demands([10, 10]), 0)
+        assert all(v == 0 for v in alloc.values())
+
+    def test_zero_demand(self):
+        alloc = RoundRobinScheduler().allocate(_demands([0, 0]), 50)
+        assert all(v == 0 for v in alloc.values())
+
+    def test_duplicate_ids_rejected(self):
+        demands = [UeDemand("x", 10), UeDemand("x", 10)]
+        with pytest.raises(ValueError, match="duplicate"):
+            RoundRobinScheduler().allocate(demands, 10)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler().allocate(_demands([1]), -1)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            UeDemand("x", -5)
+
+
+class TestProportionalFair:
+    def test_single_ue_gets_everything(self):
+        alloc = ProportionalFairScheduler().allocate(_demands([100]), 100)
+        assert alloc == {"ue0": 100}
+
+    def test_budget_conserved(self):
+        sched = ProportionalFairScheduler()
+        demands = [
+            UeDemand("a", prbs_wanted=100, cqi=12),
+            UeDemand("b", prbs_wanted=100, cqi=6),
+        ]
+        for _ in range(20):
+            alloc = sched.allocate(demands, 100)
+            assert sum(alloc.values()) == 100
+
+    def test_asymmetric_channels_give_uneven_allocation(self):
+        # The 4G two-laptop "uneven user allocation" behaviour: a persistent
+        # CQI gap converges to unequal long-run shares under PF.
+        sched = ProportionalFairScheduler(ewma_alpha=0.3)
+        demands = [
+            UeDemand("good", prbs_wanted=100, cqi=12),
+            UeDemand("bad", prbs_wanted=100, cqi=5),
+        ]
+        totals = {"good": 0, "bad": 0}
+        for _ in range(50):
+            alloc = sched.allocate(demands, 100)
+            for k, v in alloc.items():
+                totals[k] += v
+        assert totals["good"] != totals["bad"]
+
+    def test_released_prbs_redistributed(self):
+        sched = ProportionalFairScheduler()
+        demands = [UeDemand("tiny", prbs_wanted=5, cqi=10), UeDemand("big", prbs_wanted=200, cqi=10)]
+        alloc = sched.allocate(demands, 100)
+        assert alloc["tiny"] <= 5
+        assert alloc["tiny"] + alloc["big"] == 100
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ProportionalFairScheduler(ewma_alpha=0.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    wants=st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=8),
+    budget=st.integers(min_value=0, max_value=273),
+    discipline=st.sampled_from(["rr", "pf"]),
+)
+def test_prb_conservation_property(wants, budget, discipline):
+    """PRBs are conserved: total grant == min(budget, total demand), and no
+    UE receives more than it asked for."""
+    sched = RoundRobinScheduler() if discipline == "rr" else ProportionalFairScheduler()
+    demands = _demands(wants)
+    alloc = sched.allocate(demands, budget)
+    assert set(alloc) == {d.ue_id for d in demands}
+    assert all(v >= 0 for v in alloc.values())
+    for d in demands:
+        assert alloc[d.ue_id] <= d.prbs_wanted
+    assert sum(alloc.values()) == min(budget, sum(wants))

@@ -1,0 +1,155 @@
+"""Unit tests for SIM provisioning and the 5G core."""
+
+import pytest
+
+from repro.radio.core5g import Core5G, RegistrationError, SessionError
+from repro.radio.sim_cards import AuthenticationError, SimCard, SimProvisioner
+
+
+@pytest.fixture
+def provisioner():
+    return SimProvisioner()
+
+
+@pytest.fixture
+def core(provisioner):
+    return Core5G(provisioner, slice_names=("default", "iot"))
+
+
+class TestSimProvisioner:
+    def test_imsi_structure(self, provisioner):
+        card = provisioner.provision()
+        assert len(card.imsi) == 15
+        assert card.imsi.startswith(provisioner.plmn)
+
+    def test_unique_imsis(self, provisioner):
+        cards = [provisioner.provision() for _ in range(10)]
+        assert len({c.imsi for c in cards}) == 10
+
+    def test_deterministic_key_material(self):
+        a = SimProvisioner().provision()
+        b = SimProvisioner().provision()
+        assert (a.imsi, a.k, a.opc) == (b.imsi, b.k, b.opc)
+
+    def test_lookup_unknown_imsi(self, provisioner):
+        with pytest.raises(AuthenticationError, match="unknown IMSI"):
+            provisioner.lookup("999999999999999")
+
+    def test_verify_accepts_correct_response(self, provisioner):
+        card = provisioner.provision()
+        rand = b"\x01" * 16
+        provisioner.verify(card.imsi, rand, card.response(rand))
+
+    def test_verify_rejects_wrong_key(self, provisioner):
+        card = provisioner.provision()
+        impostor = SimCard(imsi=card.imsi, k="00" * 16, opc="11" * 16, iccid="x")
+        rand = b"\x02" * 16
+        with pytest.raises(AuthenticationError, match="mismatch"):
+            provisioner.verify(card.imsi, rand, impostor.response(rand))
+
+    def test_invalid_plmn(self):
+        with pytest.raises(ValueError):
+            SimProvisioner(mcc="99")
+        with pytest.raises(ValueError):
+            SimProvisioner(mnc="1")
+
+    def test_sim_card_validation(self):
+        with pytest.raises(ValueError, match="15 digits"):
+            SimCard(imsi="123", k="00" * 16, opc="00" * 16, iccid="x")
+        with pytest.raises(ValueError):
+            SimCard(imsi="9" * 15, k="zz" * 16, opc="00" * 16, iccid="x")
+
+    def test_len_counts_subscribers(self, provisioner):
+        provisioner.provision()
+        provisioner.provision()
+        assert len(provisioner) == 2
+
+
+class TestCore5G:
+    def test_register_and_session(self, core, provisioner):
+        card = provisioner.provision()
+        imsi = core.register(card)
+        assert core.is_registered(imsi)
+        session = core.establish_session(imsi)
+        assert session.active
+        assert session.slice_name == "default"
+        assert session.ue_address.startswith("10.45.0.")
+
+    def test_register_unknown_card_rejected(self, core):
+        rogue = SimCard(imsi="999700000009999", k="00" * 16, opc="00" * 16, iccid="x")
+        with pytest.raises(RegistrationError):
+            core.register(rogue)
+
+    def test_reregistration_idempotent(self, core, provisioner):
+        card = provisioner.provision()
+        core.register(card)
+        core.register(card)  # e.g. re-attach after a link drop
+        assert core.is_registered(card.imsi)
+
+    def test_session_requires_registration(self, core, provisioner):
+        card = provisioner.provision()
+        with pytest.raises(RegistrationError):
+            core.establish_session(card.imsi)
+
+    def test_slice_binding(self, core, provisioner):
+        card = provisioner.provision()
+        core.register(card)
+        session = core.establish_session(card.imsi, slice_name="iot")
+        assert session.slice_name == "iot"
+
+    def test_unknown_slice_rejected(self, core, provisioner):
+        card = provisioner.provision()
+        core.register(card)
+        with pytest.raises(SessionError, match="not configured"):
+            core.establish_session(card.imsi, slice_name="embb")
+
+    def test_deregister_tears_down_sessions(self, core, provisioner):
+        card = provisioner.provision()
+        core.register(card)
+        session = core.establish_session(card.imsi)
+        core.deregister(card.imsi)
+        assert not core.is_registered(card.imsi)
+        assert not session.active
+        assert core.sessions_for(card.imsi) == []
+
+    def test_uplink_accounting(self, core, provisioner):
+        card = provisioner.provision()
+        core.register(card)
+        session = core.establish_session(card.imsi)
+        core.route_uplink(session, 1000)
+        core.route_uplink(session, 500)
+        assert session.uplink_bytes == 1500
+        assert core.total_uplink_bytes() == 1500
+
+    def test_routing_on_released_session_rejected(self, core, provisioner):
+        card = provisioner.provision()
+        core.register(card)
+        session = core.establish_session(card.imsi)
+        core.release_session(card.imsi, session.session_id)
+        with pytest.raises(SessionError, match="not active"):
+            core.route_uplink(session, 100)
+
+    def test_release_unknown_session(self, core, provisioner):
+        card = provisioner.provision()
+        core.register(card)
+        with pytest.raises(SessionError):
+            core.release_session(card.imsi, 999)
+
+    def test_negative_bytes_rejected(self, core, provisioner):
+        card = provisioner.provision()
+        core.register(card)
+        session = core.establish_session(card.imsi)
+        with pytest.raises(ValueError):
+            core.route_uplink(session, -1)
+
+    def test_unique_ue_addresses(self, core, provisioner):
+        addresses = set()
+        for _ in range(5):
+            card = provisioner.provision()
+            core.register(card)
+            addresses.add(core.establish_session(card.imsi).ue_address)
+        assert len(addresses) == 5
+
+    def test_requires_a_slice(self, provisioner):
+        with pytest.raises(ValueError):
+            Core5G(provisioner, slice_names=())

@@ -1,0 +1,132 @@
+"""Unit and property tests for network slicing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.slicing import NetworkSlice, SliceConfig, SlicePolicy
+
+
+class TestNetworkSlice:
+    def test_valid(self):
+        s = NetworkSlice("iot", 0.3)
+        assert s.prb_share == 0.3
+
+    def test_invalid_share(self):
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                NetworkSlice("x", bad)
+
+
+class TestSliceConfig:
+    def test_complementary_pair(self):
+        cfg = SliceConfig.complementary_pair(0.3)
+        shares = {s.name: s.prb_share for s in cfg}
+        assert shares["slice-a"] == pytest.approx(0.3)
+        assert shares["slice-b"] == pytest.approx(0.7)
+
+    def test_nine_profiles(self):
+        profiles = SliceConfig.nine_profiles()
+        assert len(profiles) == 9
+        firsts = [cfg.get("slice-a").prb_share for cfg in profiles]
+        assert firsts == pytest.approx([i / 10 for i in range(1, 10)])
+        for cfg in profiles:
+            total = sum(s.prb_share for s in cfg)
+            assert total == pytest.approx(1.0)
+
+    def test_partition_conserves_prbs(self):
+        cfg = SliceConfig.complementary_pair(0.1)
+        part = cfg.partition_prbs(106)
+        assert sum(part.values()) == 106
+        assert part["slice-a"] in (10, 11)
+
+    def test_partition_within_one_prb_of_exact(self):
+        cfg = SliceConfig([NetworkSlice(f"s{i}", 1 / 7) for i in range(7)])
+        part = cfg.partition_prbs(100)
+        for name, got in part.items():
+            assert abs(got - 100 / 7) < 1.0
+
+    def test_oversubscribed_shares_rejected(self):
+        with pytest.raises(ValueError, match="> 1"):
+            SliceConfig([NetworkSlice("a", 0.6), NetworkSlice("b", 0.6)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SliceConfig([NetworkSlice("a", 0.3), NetworkSlice("a", 0.3)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SliceConfig([])
+
+    def test_get_unknown(self):
+        cfg = SliceConfig.complementary_pair(0.5)
+        with pytest.raises(KeyError):
+            cfg.get("nope")
+
+    def test_negative_prbs(self):
+        with pytest.raises(ValueError):
+            SliceConfig.complementary_pair(0.5).partition_prbs(-1)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    shares=st.lists(
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    ),
+    total_prbs=st.integers(min_value=0, max_value=273),
+)
+def test_partition_property(shares, total_prbs):
+    """Partition never loses or invents PRBs and respects shares to +/-1."""
+    total_share = sum(shares)
+    normalized = [s / max(total_share, 1.0) for s in shares]
+    cfg = SliceConfig([NetworkSlice(f"s{i}", v) for i, v in enumerate(normalized)])
+    part = cfg.partition_prbs(total_prbs)
+    assert sum(part.values()) == round(sum(v * total_prbs for v in normalized))
+    for i, v in enumerate(normalized):
+        assert abs(part[f"s{i}"] - v * total_prbs) <= 1.0
+
+
+class TestSlicePolicy:
+    def test_rebalance_moves_toward_demand(self):
+        cfg = SliceConfig.complementary_pair(0.5)
+        policy = SlicePolicy(adaptation_rate=1.0, min_share=0.05)
+        new = policy.rebalance(cfg, {"slice-a": 90e6, "slice-b": 10e6})
+        assert new.get("slice-a").prb_share > 0.8
+
+    def test_rebalance_respects_floor(self):
+        cfg = SliceConfig.complementary_pair(0.5)
+        policy = SlicePolicy(adaptation_rate=1.0, min_share=0.2)
+        new = policy.rebalance(cfg, {"slice-a": 1e9, "slice-b": 0.0})
+        assert new.get("slice-b").prb_share >= 0.2 - 1e-9
+
+    def test_rebalance_preserves_total(self):
+        cfg = SliceConfig.complementary_pair(0.3)
+        policy = SlicePolicy(adaptation_rate=0.5)
+        new = policy.rebalance(cfg, {"slice-a": 5e6, "slice-b": 3e6})
+        assert sum(s.prb_share for s in new) == pytest.approx(
+            sum(s.prb_share for s in cfg)
+        )
+
+    def test_zero_load_equalizes(self):
+        cfg = SliceConfig.complementary_pair(0.9)
+        policy = SlicePolicy(adaptation_rate=1.0, min_share=0.0)
+        new = policy.rebalance(cfg, {"slice-a": 0.0, "slice-b": 0.0})
+        assert new.get("slice-a").prb_share == pytest.approx(0.5)
+
+    def test_unknown_slice_in_load_rejected(self):
+        cfg = SliceConfig.complementary_pair(0.5)
+        with pytest.raises(KeyError):
+            SlicePolicy().rebalance(cfg, {"ghost": 1.0})
+
+    def test_infeasible_floor_rejected(self):
+        cfg = SliceConfig([NetworkSlice(f"s{i}", 0.25) for i in range(4)])
+        with pytest.raises(ValueError, match="infeasible"):
+            SlicePolicy(min_share=0.3).rebalance(cfg, {})
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SlicePolicy(min_share=1.0)
+        with pytest.raises(ValueError):
+            SlicePolicy(adaptation_rate=0.0)

@@ -1,0 +1,69 @@
+"""Tests for the dev/prod testbed builder (paper section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.radio import NetworkDeployment
+from repro.radio.devices import RASPBERRY_PI_5
+
+
+class TestTestbed:
+    @pytest.fixture(scope="class")
+    def testbed(self):
+        return NetworkDeployment.build_testbed()
+
+    def test_two_parallel_instances(self, testbed):
+        assert set(testbed) == {"development", "production"}
+        dev, prod = testbed["development"], testbed["production"]
+        # Separate gNBs, cores and SIM universes on one physical host.
+        assert dev.gnb is not prod.gnb
+        assert dev.core is not prod.core
+        assert dev.provisioner is not prod.provisioner
+
+    def test_development_ue_roster(self, testbed):
+        dev = testbed["development"]
+        ids = {ue.ue_id for ue in dev.ues}
+        assert ids == {"dev-pixel-6a", "dev-rpi5-1", "dev-rpi5-2"}
+        rpi5 = next(ue for ue in dev.ues if ue.ue_id == "dev-rpi5-1")
+        assert rpi5.device is RASPBERRY_PI_5
+
+    def test_production_ue_roster(self, testbed):
+        prod = testbed["production"]
+        ids = {ue.ue_id for ue in prod.ues}
+        assert ids == {"prod-rpi4-1", "prod-rpi4-2"}
+
+    def test_all_ues_registered_with_their_core(self, testbed):
+        for net in testbed.values():
+            for ue in net.ues:
+                assert net.core.is_registered(ue.sim.imsi)
+                assert ue.attached
+
+    def test_sim_universes_disjoint(self, testbed):
+        dev_imsis = {ue.sim.imsi for ue in testbed["development"].ues}
+        prod = testbed["production"]
+        for imsi in dev_imsis:
+            assert not prod.core.is_registered(imsi)
+
+    def test_rpi5_slightly_outruns_rpi4_on_nr_fdd(self):
+        rng = np.random.default_rng(5)
+        means = {}
+        for device in ("raspberry-pi", "raspberry-pi-5"):
+            net = NetworkDeployment.build("5g-fdd", 20)
+            ue = net.add_ue(device)
+            means[device] = net.measure_uplink([ue], rng, 80)[ue.ue_id].mean_mbps
+        assert means["raspberry-pi-5"] > means["raspberry-pi"]
+
+    def test_experiments_run_independently(self, testbed):
+        # Slicing experiments on dev must not perturb production traffic.
+        rng = np.random.default_rng(6)
+        dev, prod = testbed["development"], testbed["production"]
+        dev_res = dev.measure_uplink(
+            [ue for ue in dev.ues if "rpi5" in ue.ue_id], rng, 30
+        )
+        prod_res = prod.measure_uplink(list(prod.ues), rng, 30)
+        assert prod.core.total_uplink_bytes() == sum(
+            r.total_bytes for r in prod_res.values()
+        )
+        assert dev.core.total_uplink_bytes() == sum(
+            r.total_bytes for r in dev_res.values()
+        )

@@ -1,0 +1,80 @@
+"""Tests for the Farm-NG style surveil robot."""
+
+import pytest
+
+from repro.sensors import FarmNgRobot
+from repro.simkernel import Engine
+
+
+@pytest.fixture
+def engine():
+    return Engine(seed=4)
+
+
+class TestRouting:
+    def test_panel_centers(self, engine):
+        robot = FarmNgRobot(engine, perimeter_m=400.0, n_panels=4)
+        assert robot.panel_center_m(0) == 50.0
+        assert robot.panel_center_m(3) == 350.0
+
+    def test_shorter_way_around_the_loop(self, engine):
+        robot = FarmNgRobot(engine, perimeter_m=400.0, n_panels=4)
+        robot.position_m = 0.0
+        # Panel 3 center is at 350: going backwards (50 m) beats forwards.
+        assert robot.route_distance_m(3) == pytest.approx(50.0)
+        assert robot.route_distance_m(0) == pytest.approx(50.0)
+
+    def test_panel_index_validation(self, engine):
+        robot = FarmNgRobot(engine, n_panels=4)
+        with pytest.raises(ValueError):
+            robot.panel_center_m(4)
+
+
+class TestMissions:
+    def test_dispatch_confirms_real_breach(self, engine):
+        robot = FarmNgRobot(engine, camera_detection_prob=1.0)
+        report = engine.run(until=robot.dispatch(1, breach_present=True))
+        assert report.breach_confirmed
+        assert report.panel_index == 1
+        assert report.travel_time_s > 0
+        assert report.images_taken >= 12
+        assert not robot.busy
+        assert robot.missions == [report]
+
+    def test_no_breach_not_confirmed(self, engine):
+        robot = FarmNgRobot(engine)
+        report = engine.run(until=robot.dispatch(2, breach_present=False))
+        assert not report.breach_confirmed
+        assert report.images_taken == 12  # single pass, nothing to find
+
+    def test_imperfect_camera_retries(self, engine):
+        robot = FarmNgRobot(engine, camera_detection_prob=0.5)
+        confirmed = 0
+        for i in range(10):
+            report = engine.run(until=robot.dispatch(i % 4, breach_present=True))
+            confirmed += report.breach_confirmed
+        # Three passes at 50 % each: ~87.5 % per mission.
+        assert confirmed >= 6
+
+    def test_travel_time_matches_speed(self, engine):
+        robot = FarmNgRobot(engine, perimeter_m=400.0, speed_mps=2.0,
+                            camera_detection_prob=1.0)
+        robot.position_m = 0.0
+        report = engine.run(until=robot.dispatch(1, breach_present=False))
+        # Panel 1 center at 150 m: 75 s at 2 m/s.
+        assert report.travel_time_s == pytest.approx(75.0)
+        assert robot.position_m == 150.0
+
+    def test_busy_robot_rejects_dispatch(self, engine):
+        robot = FarmNgRobot(engine)
+        robot.dispatch(0, breach_present=False)
+        with pytest.raises(RuntimeError, match="already on a mission"):
+            robot.dispatch(1, breach_present=False)
+
+    def test_validation(self, engine):
+        with pytest.raises(ValueError):
+            FarmNgRobot(engine, perimeter_m=0.0)
+        with pytest.raises(ValueError):
+            FarmNgRobot(engine, camera_detection_prob=0.0)
+        with pytest.raises(ValueError):
+            FarmNgRobot(engine, n_panels=0)

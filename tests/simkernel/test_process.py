@@ -1,0 +1,167 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.simkernel import Engine, Interrupt, Process, ProcessDied
+
+
+def test_process_runs_and_returns_value():
+    eng = Engine()
+
+    def body():
+        yield eng.timeout(1.0)
+        yield eng.timeout(2.0)
+        return "result"
+
+    p = eng.process(body())
+    assert eng.run(until=p) == "result"
+    assert eng.now == 3.0
+    assert not p.is_alive
+
+
+def test_process_receives_event_value():
+    eng = Engine()
+    got = []
+
+    def body():
+        v = yield eng.timeout(1.0, value="hello")
+        got.append(v)
+
+    eng.process(body())
+    eng.run()
+    assert got == ["hello"]
+
+
+def test_process_exception_fails_process_event():
+    eng = Engine()
+
+    def body():
+        yield eng.timeout(1.0)
+        raise RuntimeError("inner")
+
+    p = eng.process(body())
+    with pytest.raises(RuntimeError, match="inner"):
+        eng.run(until=p)
+
+
+def test_failed_event_reraises_in_process():
+    eng = Engine()
+    caught = []
+
+    def failer():
+        yield eng.timeout(1.0)
+        raise ValueError("late failure")
+
+    def waiter(target):
+        try:
+            yield target
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    p = eng.process(failer())
+    eng.process(waiter(p))
+    eng.run()
+    assert caught == ["late failure"]
+
+
+def test_process_waits_on_process():
+    eng = Engine()
+
+    def child():
+        yield eng.timeout(5.0)
+        return 99
+
+    def parent():
+        v = yield eng.process(child())
+        return v + 1
+
+    p = eng.process(parent())
+    assert eng.run(until=p) == 100
+
+
+def test_yield_non_event_is_error():
+    eng = Engine()
+
+    def body():
+        yield 42  # type: ignore[misc]
+
+    p = eng.process(body())
+    with pytest.raises(RuntimeError, match="non-event"):
+        eng.run(until=p)
+
+
+def test_non_generator_body_rejected():
+    eng = Engine()
+    with pytest.raises(TypeError):
+        eng.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_interrupt_delivers_cause():
+    eng = Engine()
+    log = []
+
+    def sleeper():
+        try:
+            yield eng.timeout(100.0)
+        except Interrupt as i:
+            log.append(("interrupted", i.cause, eng.now))
+
+    def interrupter(target):
+        yield eng.timeout(3.0)
+        target.interrupt("wake up")
+
+    p = eng.process(sleeper())
+    eng.process(interrupter(p))
+    eng.run()
+    assert log == [("interrupted", "wake up", 3.0)]
+
+
+def test_interrupt_finished_process_raises():
+    eng = Engine()
+
+    def body():
+        yield eng.timeout(1.0)
+
+    p = eng.process(body())
+    eng.run()
+    with pytest.raises(ProcessDied):
+        p.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    eng = Engine()
+    trace = []
+
+    def sleeper():
+        try:
+            yield eng.timeout(100.0)
+        except Interrupt:
+            trace.append(("resumed", eng.now))
+        yield eng.timeout(2.0)
+        trace.append(("done", eng.now))
+
+    def interrupter(target):
+        yield eng.timeout(1.0)
+        target.interrupt()
+
+    p = eng.process(sleeper())
+    eng.process(interrupter(p))
+    eng.run()
+    assert trace == [("resumed", 1.0), ("done", 3.0)]
+
+
+def test_two_processes_interleave():
+    eng = Engine()
+    order = []
+
+    def ticker(name, period, n):
+        for _ in range(n):
+            yield eng.timeout(period)
+            order.append((name, eng.now))
+
+    eng.process(ticker("a", 2.0, 3))
+    eng.process(ticker("b", 3.0, 2))
+    eng.run()
+    # At t=6 both tick: b's timeout was scheduled at t=3, a's at t=4, so the
+    # FIFO tie-break fires b first.
+    assert order == [("a", 2.0), ("b", 3.0), ("a", 4.0), ("b", 6.0), ("a", 6.0)]
