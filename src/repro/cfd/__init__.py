@@ -28,12 +28,18 @@ performance model:
 """
 
 from repro.cfd.mesh import StructuredMesh
-from repro.cfd.fields import FlowFields
+from repro.cfd.fields import FlowFields, PaddedScratch
 from repro.cfd.boundary import BoundaryConditions, ScreenPanel, WindInlet
-from repro.cfd.solver import ProjectionSolver, SolverConfig, SolverResult
+from repro.cfd.solver import (
+    PressureWorkspace,
+    ProjectionSolver,
+    SolverConfig,
+    SolverResult,
+)
 from repro.cfd.parallel import DecomposedSolver, decompose_slabs
 from repro.cfd.perfmodel import (
     CfdPerformanceModel,
+    LaptopKernelModel,
     FIG7_ANCHOR_MEAN_S,
     FIG7_ANCHOR_STD_S,
 )
@@ -49,15 +55,18 @@ from repro.cfd.postprocess import (
 __all__ = [
     "StructuredMesh",
     "FlowFields",
+    "PaddedScratch",
     "BoundaryConditions",
     "WindInlet",
     "ScreenPanel",
+    "PressureWorkspace",
     "ProjectionSolver",
     "SolverConfig",
     "SolverResult",
     "DecomposedSolver",
     "decompose_slabs",
     "CfdPerformanceModel",
+    "LaptopKernelModel",
     "FIG7_ANCHOR_MEAN_S",
     "FIG7_ANCHOR_STD_S",
     "CfdCase",

@@ -136,11 +136,11 @@ class BoundaryConditions:
 
     def resistance_mask(self, mesh: StructuredMesh) -> np.ndarray:
         """Float mask in [0, 1]: 1 where intact screen resists the flow."""
-        mask = np.zeros(mesh.shape)
+        mask = np.zeros(mesh.shape, dtype=bool)
         for panel in self.screens:
             if not panel.breached:
-                mask = np.maximum(mask, panel.mask(mesh).astype(np.float64))
-        return mask
+                mask |= panel.mask(mesh)
+        return mask.astype(np.float64)
 
     def breach_any(self, panel_index: int) -> "BoundaryConditions":
         """A copy with one panel breached (digital-twin what-if)."""

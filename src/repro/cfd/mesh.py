@@ -69,11 +69,22 @@ class StructuredMesh:
         return self.lx * self.ly * self.lz
 
     def cell_centers(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """1-D center coordinate arrays (x, y, z)."""
-        x = (np.arange(self.nx) + 0.5) * self.dx
-        y = (np.arange(self.ny) + 0.5) * self.dy
-        z = (np.arange(self.nz) + 0.5) * self.dz
-        return x, y, z
+        """1-D center coordinate arrays (x, y, z).
+
+        Memoized: the mesh is immutable, so the coordinates are computed
+        once per mesh and returned as read-only arrays (hot paths that ask
+        for geometry repeatedly get cache hits instead of allocations).
+        """
+        cached = self.__dict__.get("_centers")
+        if cached is None:
+            x = (np.arange(self.nx) + 0.5) * self.dx
+            y = (np.arange(self.ny) + 0.5) * self.dy
+            z = (np.arange(self.nz) + 0.5) * self.dz
+            for arr in (x, y, z):
+                arr.flags.writeable = False
+            cached = (x, y, z)
+            object.__setattr__(self, "_centers", cached)
+        return cached
 
     def locate(self, x: float, y: float, z: float) -> tuple[int, int, int]:
         """Cell index containing a physical point."""

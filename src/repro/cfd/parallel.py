@@ -7,11 +7,20 @@ neighbouring slab (interior faces) or edge replication (domain boundary) --
 exactly the padded-array convention of the serial solver, which makes the
 decomposed step **bit-identical** to the serial step (property-tested).
 
+The decomposed step runs the *same* row-ranged kernels as
+:class:`~repro.cfd.solver.ProjectionSolver` -- each slab is just an x-row
+range ``(s, e)`` passed to the shared buffered kernels, so serial and
+decomposed execution cannot drift apart. A "halo exchange" is the in-place
+ghost refresh of the shared padded scratch (O(n^2) face traffic, the
+shared-memory analogue of six ``MPI_Sendrecv`` faces); per-slab pressure
+sweep plans are built once and reused for every sweep of every step.
+
 Execution: slab updates are dispatched to a thread pool. NumPy releases the
-GIL inside ufuncs, so this yields real shared-memory parallelism for large
-slabs; the paper-scale wall-clock behaviour (Fig. 7) is nevertheless the
-domain of :mod:`repro.cfd.perfmodel` -- a laptop cannot impersonate a
-64-core cluster node.
+GIL inside ufuncs and all slab writes go to disjoint row ranges of shared
+scratch, so this yields real shared-memory parallelism for large slabs; the
+paper-scale wall-clock behaviour (Fig. 7) is nevertheless the domain of
+:mod:`repro.cfd.perfmodel` -- a laptop cannot impersonate a 64-core cluster
+node.
 
 Diagnostics that need global state (divergence norms, CFL maxima) are
 computed over the assembled global array, the shared-memory analogue of
@@ -32,19 +41,8 @@ from repro.cfd.solver import (
     ProjectionSolver,
     SolverConfig,
     SolverResult,
-    _grad,
-    _lap,
-    _pad,
-    _pad_pressure,
-    _porous_coeffs,
-    _upwind_advect,
-    NU_AIR,
-    NU_EFFECTIVE,
-    ALPHA_EFFECTIVE,
-    BETA_AIR,
-    GRAVITY,
+    nonfinite_fields,
 )
-from repro.cfd.boundary import SCREEN_DARCY, SCREEN_FORCHHEIMER
 
 
 def decompose_slabs(nx: int, n_ranks: int) -> list[tuple[int, int]]:
@@ -70,6 +68,9 @@ def decompose_slabs(nx: int, n_ranks: int) -> list[tuple[int, int]]:
 class DecomposedSolver:
     """Domain-decomposed twin of :class:`ProjectionSolver`.
 
+    Usable as a context manager (``with DecomposedSolver(...) as solver:``)
+    so a configured thread pool is always shut down deterministically.
+
     Parameters
     ----------
     mesh / bcs / config:
@@ -78,7 +79,8 @@ class DecomposedSolver:
         Number of x-slabs.
     workers:
         Thread-pool width; ``None`` runs slabs sequentially (deterministic
-        and dependency-free -- the default for tests).
+        and dependency-free -- the default for tests). Results are
+        bit-identical either way: slab kernels write disjoint row ranges.
     """
 
     def __init__(
@@ -95,133 +97,106 @@ class DecomposedSolver:
         self.slabs = decompose_slabs(mesh.nx, n_ranks)
         self.n_ranks = n_ranks
         self._serial = ProjectionSolver(mesh, bcs, self.config)
-        self._resistance = bcs.resistance_mask(mesh)
         self._pool = ThreadPoolExecutor(max_workers=workers) if workers else None
         self.halo_exchanges = 0
+        # Per-slab pressure sweep plans, built once and reused every sweep.
+        self._plans = [
+            self._serial.pressure.plan(s, e) for s, e in self.slabs
+        ]
 
     # -- slab machinery ----------------------------------------------------------
 
-    def _slab_map(
-        self, fn: Callable[[int, int], np.ndarray], out: np.ndarray
-    ) -> None:
-        """Compute ``out[s:e] = fn(s, e)`` for every slab (pooled or not)."""
+    def _slab_run(self, fn: Callable[[int, int], None]) -> None:
+        """Run ``fn(s, e)`` for every slab (pooled or sequential)."""
         if self._pool is None:
             for s, e in self.slabs:
-                out[s:e] = fn(s, e)
+                fn(s, e)
         else:
-            futures = [
-                (s, e, self._pool.submit(fn, s, e)) for s, e in self.slabs
-            ]
-            for s, e, fut in futures:
-                out[s:e] = fut.result()
+            futures = [self._pool.submit(fn, s, e) for s, e in self.slabs]
+            for fut in futures:
+                fut.result()
 
-    @staticmethod
-    def _halo_slice(fp: np.ndarray, s: int, e: int) -> np.ndarray:
-        """Rank (s, e)'s padded slab: its cells plus one halo cell per side.
-
-        ``fp`` is the globally padded array, so ``fp[s : e + 2]`` carries
-        neighbour values in the interior and edge replicas at the domain
-        boundary -- the halo-exchange result.
-        """
-        return fp[s : e + 2]
+    def _exchange_halos(self, *loads: Callable[[], None]) -> None:
+        """One counted halo exchange: refresh the given padded buffers."""
+        for load in loads:
+            load()
+        self.halo_exchanges += 1
 
     # -- the decomposed step -----------------------------------------------------
 
     def step(self, f: FlowFields) -> None:
-        m, cfg = self.mesh, self.config
-        dt, dx, dy, dz = cfg.dt, m.dx, m.dy, m.dz
-        self._serial.apply_velocity_bcs(f)
-        self._serial.apply_temperature_bcs(f)
+        ser, cfg, ws = self._serial, self.config, self._serial.pressure
+        ser.apply_velocity_bcs(f)
+        ser.apply_temperature_bcs(f)
 
-        # Halo exchange: assemble padded globals once per stencil family.
-        up, vp, wp = _pad(f.u), _pad(f.v), _pad(f.w)
-        self.halo_exchanges += 1
-        drag = self._resistance * (
-            NU_AIR * SCREEN_DARCY + 0.5 * SCREEN_FORCHHEIMER * f.speed()
-        )
-        damp = 1.0 / (1.0 + dt * drag)
-        buoy = GRAVITY * BETA_AIR * (f.temperature - cfg.reference_temperature_k)
-
-        u_star = np.empty_like(f.u)
-        v_star = np.empty_like(f.v)
-        w_star = np.empty_like(f.w)
-
-        def pred(component: str, s: int, e: int) -> np.ndarray:
-            sl = slice(s, e)
-            usl, vsl, wsl = f.u[sl], f.v[sl], f.w[sl]
-            fp = {"u": up, "v": vp, "w": wp}[component]
-            fps = self._halo_slice(fp, s, e)
-            val = {"u": f.u, "v": f.v, "w": f.w}[component][sl]
-            rhs = (
-                -_upwind_advect(fps, usl, vsl, wsl, dx, dy, dz)
-                + NU_EFFECTIVE * _lap(fps, dx, dy, dz)
-            )
-            if component == "w":
-                rhs = rhs + buoy[sl]
-            return damp[sl] * (val + dt * rhs)
-
-        self._slab_map(lambda s, e: pred("u", s, e), u_star)
-        self._slab_map(lambda s, e: pred("v", s, e), v_star)
-        self._slab_map(lambda s, e: pred("w", s, e), w_star)
-        f.u, f.v, f.w = u_star, v_star, w_star
-        self._serial.apply_velocity_bcs(f)
+        # Halo exchange: refresh the padded velocity buffers once per
+        # stencil family, then fan the shared row-ranged kernels out over
+        # the slabs.
+        self._exchange_halos(lambda: ser._load_velocity_buffers(f))
+        ser._update_upwind_masks(f)
+        ser._update_damp_buoy(f)
+        self._slab_run(lambda s, e: ser._predict_rows(f, s, e))
+        f.u, ser._ustar = ser._ustar, f.u
+        f.v, ser._vstar = ser._vstar, f.v
+        f.w, ser._wstar = ser._wstar, f.w
+        ser.apply_velocity_bcs(f)
 
         # Variable-coefficient Poisson (div(damp grad p) = div(u*)/dt):
-        # slab Jacobi sweeps with a halo exchange per sweep; the outlet
-        # Dirichlet face (see _pad_pressure) anchors the field.
-        rhs = self._serial.divergence(f) / dt
-        p = f.p
-        coeffs, denom = _porous_coeffs(damp, dx, dy, dz)
-        ax_p, ax_m, ay_p, ay_m, az_p, az_m = coeffs
-        for _ in range(cfg.poisson_iterations):
-            pp = _pad_pressure(p)
-            self.halo_exchanges += 1
-            p_new = np.empty_like(p)
+        # slab sweeps with a halo exchange (ghost refresh) per sweep; the
+        # outlet Dirichlet face anchors the field.
+        ser._load_velocity_buffers(f)
+        ser._load_poisson(f)
+        if cfg.pressure_solver == "jacobi":
+            for _ in range(cfg.poisson_iterations):
+                self._exchange_halos(ws.refresh_ghosts)
+                self._slab_run(lambda s, e: ws.sweep(ws.plan(s, e)))
+                ws.swap()
+            ser.last_pressure_sweeps = cfg.poisson_iterations
+        else:
+            # Red-black SOR: same-colour cells are never neighbours, so
+            # each colour half-pass is one halo exchange plus a
+            # conflict-free slab fan-out.
+            sweeps = 0
+            while sweeps < cfg.poisson_iterations:
+                for color in ("red", "black"):
+                    self._exchange_halos(ws.refresh_ghosts)
+                    self._slab_run(
+                        lambda s, e, c=color: ws.sor_pass(
+                            ws.plan(s, e), getattr(ws.plan(s, e), c),
+                            cfg.sor_omega,
+                        )
+                    )
+                sweeps += 1
+                if (
+                    cfg.poisson_tolerance > 0.0
+                    and sweeps % cfg.poisson_check_every == 0
+                    and ws.residual_norm() <= cfg.poisson_tolerance
+                ):
+                    break
+            ser.last_pressure_sweeps = sweeps
+        np.copyto(f.p, ws.src.interior)
 
-            def sweep(s: int, e: int) -> np.ndarray:
-                pps = self._halo_slice(pp, s, e)
-                sl = slice(s, e)
-                return (
-                    ax_p[sl] * pps[2:, 1:-1, 1:-1] + ax_m[sl] * pps[:-2, 1:-1, 1:-1]
-                    + ay_p[sl] * pps[1:-1, 2:, 1:-1] + ay_m[sl] * pps[1:-1, :-2, 1:-1]
-                    + az_p[sl] * pps[1:-1, 1:-1, 2:] + az_m[sl] * pps[1:-1, 1:-1, :-2]
-                    - rhs[sl]
-                ) / denom[sl]
+        # Corrector, damped by the same mobility.
+        self._exchange_halos(ws.refresh_ghosts)
+        np.multiply(cfg.dt, ser._damp, out=ser._dtdamp)
+        self._slab_run(lambda s, e: ser._correct_rows(f, s, e))
+        ser.apply_velocity_bcs(f)
 
-            self._slab_map(sweep, p_new)
-            p = p_new
-        f.p = p
+        # Temperature transport (with the corrected velocities).
+        self._exchange_halos(lambda: ser._wt.load(f.temperature))
+        ser._update_upwind_masks(f)
+        self._slab_run(lambda s, e: ser._temperature_rows(f, s, e))
+        f.temperature, ser._tstar = ser._tstar, f.temperature
+        ser.apply_temperature_bcs(f)
 
-        pp = _pad_pressure(p)
-        self.halo_exchanges += 1
-        for target, axis in ((f.u, 0), (f.v, 1), (f.w, 2)):
-            corr = np.empty_like(target)
+    @property
+    def last_pressure_sweeps(self) -> int:
+        """Sweeps the last pressure solve ran (see the serial solver)."""
+        return self._serial.last_pressure_sweeps
 
-            def correct(s: int, e: int, axis=axis) -> np.ndarray:
-                g = _grad(self._halo_slice(pp, s, e), dx, dy, dz)[axis]
-                return damp[s:e] * g
-
-            self._slab_map(correct, corr)
-            target -= dt * corr
-        self._serial.apply_velocity_bcs(f)
-
-        tp = _pad(f.temperature)
-        self.halo_exchanges += 1
-        t_new = np.empty_like(f.temperature)
-
-        def temp(s: int, e: int) -> np.ndarray:
-            sl = slice(s, e)
-            return f.temperature[sl] + dt * (
-                -_upwind_advect(
-                    self._halo_slice(tp, s, e), f.u[sl], f.v[sl], f.w[sl],
-                    dx, dy, dz,
-                )
-                + ALPHA_EFFECTIVE * _lap(self._halo_slice(tp, s, e), dx, dy, dz)
-            )
-
-        self._slab_map(temp, t_new)
-        f.temperature = t_new
-        self._serial.apply_temperature_bcs(f)
+    def pressure_residual_norm(self) -> float:
+        """RMS residual of the pressure equation for the current iterate."""
+        return self._serial.pressure_residual_norm()
 
     def solve(self, fields: Optional[FlowFields] = None) -> SolverResult:
         f = fields if fields is not None else FlowFields(self.mesh).initialize_uniform(
@@ -233,10 +208,21 @@ class DecomposedSolver:
             result.divergence_history.append(self._serial.divergence_norm(f))
             result.kinetic_energy_history.append(f.kinetic_energy())
             result.steps_run += 1
-        if not np.all(np.isfinite(f.u)):
-            raise FloatingPointError("decomposed solver diverged; reduce dt")
+        bad = nonfinite_fields(f)
+        if bad:
+            raise FloatingPointError(
+                f"decomposed solver diverged: non-finite field(s) "
+                f"{', '.join(bad)}; reduce dt (configured {self.config.dt})"
+            )
         return result
 
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "DecomposedSolver":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

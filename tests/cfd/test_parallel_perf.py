@@ -11,6 +11,7 @@ from repro.cfd import (
     DecomposedSolver,
     FIG7_ANCHOR_MEAN_S,
     FIG7_ANCHOR_STD_S,
+    LaptopKernelModel,
     ProjectionSolver,
     SolverConfig,
     WindInlet,
@@ -147,3 +148,44 @@ class TestPerformanceModel:
             pm.prepost_time(0)
         with pytest.raises(ValueError):
             CfdPerformanceModel(mesh_time_s=-1.0)
+
+
+class TestLaptopKernelModel:
+    def test_step_time_scales_with_cells(self):
+        km = LaptopKernelModel()
+        n = default_mesh().n_cells
+        assert km.step_time_s(8 * n) == pytest.approx(8 * km.step_time_s(n))
+        assert km.solve_time_s(n, 100) == pytest.approx(100 * km.step_time_s(n))
+
+    def test_poisson_dominates_the_step(self):
+        # With 60 fixed sweeps the pressure loop is the serial fraction
+        # pressure-solver work acts on: more than half the step.
+        km = LaptopKernelModel()
+        assert 0.5 < km.poisson_fraction() <= 1.0
+
+    def test_fewer_sweeps_smaller_fraction(self):
+        assert (
+            LaptopKernelModel(poisson_iterations=20).poisson_fraction()
+            < LaptopKernelModel(poisson_iterations=60).poisson_fraction()
+        )
+
+    def test_sweeps_budget(self):
+        km = LaptopKernelModel()
+        n = default_mesh().n_cells
+        # The default step fits its own budget with the default sweeps.
+        assert km.sweeps_budget(km.step_time_s(n), n) >= km.poisson_iterations - 1
+        # An impossible budget yields zero sweeps.
+        assert km.sweeps_budget(1e-9, n) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LaptopKernelModel(step_cells_per_s=0.0)
+        with pytest.raises(ValueError):
+            LaptopKernelModel(poisson_iterations=0)
+        km = LaptopKernelModel()
+        with pytest.raises(ValueError):
+            km.step_time_s(0)
+        with pytest.raises(ValueError):
+            km.solve_time_s(100, 0)
+        with pytest.raises(ValueError):
+            km.sweeps_budget(0.0, 100)

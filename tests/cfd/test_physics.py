@@ -51,6 +51,7 @@ class TestDirectionality:
         # A +30 degree wind drives positive spanwise flow overall.
         assert float(f.v.mean()) > 0.0
 
+    @pytest.mark.slow
     def test_reversed_angle_reverses_v(self):
         plus = solver_for(direction=20.0).solve().fields
         minus = solver_for(direction=-20.0).solve().fields
@@ -58,12 +59,14 @@ class TestDirectionality:
 
 
 class TestThermal:
+    @pytest.mark.slow
     def test_hotter_ground_stronger_updraft(self):
         mild = solver_for(wind=0.5, ground_dt=2.0).solve().fields
         hot = solver_for(wind=0.5, ground_dt=15.0).solve().fields
         sel = np.s_[4:-4, 4:-4, 1:5]
         assert hot.w[sel].mean() > mild.w[sel].mean()
 
+    @pytest.mark.slow
     def test_temperature_bounded_by_sources(self):
         """With an inlet at T_in and ground at T_g > T_in, the field stays
         within [min, max] of the boundary temperatures (maximum principle,
@@ -75,6 +78,7 @@ class TestThermal:
         assert float(f.temperature.min()) >= t_min - 0.5
         assert float(f.temperature.max()) <= t_max + 0.5
 
+    @pytest.mark.slow
     def test_warm_ground_heats_near_surface_air(self):
         f = solver_for(wind=2.0, ground_dt=8.0, n_steps=200).solve().fields
         near_ground = f.temperature[:, :, 1].mean()
@@ -83,6 +87,7 @@ class TestThermal:
 
 
 class TestSteadyState:
+    @pytest.mark.slow
     def test_solve_to_steady_terminates_and_is_finite(self):
         s = solver_for(n_steps=1)  # n_steps unused by solve_to_steady
         result = s.solve_to_steady(tolerance=0.05, check_every=20, max_steps=400)

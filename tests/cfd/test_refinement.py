@@ -61,16 +61,19 @@ class TestRefinementRobustness:
             "medium": interior_attenuation(medium),
         }
 
+    @pytest.mark.slow
     def test_screen_attenuates_at_every_resolution(self, attenuations):
         for label, value in attenuations.items():
             assert 0.1 < value < 0.95, f"{label}: attenuation {value}"
 
+    @pytest.mark.slow
     def test_attenuation_stable_under_refinement(self, attenuations):
         coarse, medium = attenuations["coarse"], attenuations["medium"]
         # Same regime within a factor of ~1.8 -- the twin's per-station
         # ratio calibration absorbs exactly this kind of residual error.
         assert 0.55 < coarse / medium < 1.8
 
+    @pytest.mark.slow
     def test_breach_signature_stable_under_refinement(self):
         deltas = {}
         for label, mesh in [

@@ -80,6 +80,7 @@ class TestSingleStep:
 
 
 class TestFullSolve:
+    @pytest.mark.slow
     def test_stable_over_long_run(self):
         result = build_solver(n_steps=250).solve()
         f = result.fields
@@ -88,6 +89,7 @@ class TestFullSolve:
         ke = result.kinetic_energy_history
         assert max(ke[-50:]) < 3.0 * max(ke[: len(ke) // 2]) + 1.0
 
+    @pytest.mark.slow
     def test_screen_slows_interior_air(self):
         """The CUPS premise: interior conditions differ from exterior."""
         with_screen = build_solver(n_steps=200, screens=True).solve().fields
@@ -95,6 +97,7 @@ class TestFullSolve:
         sel = np.s_[6:22, 6:22, 0:3]  # inside the screen house, below 7.5 m
         assert with_screen.speed()[sel].mean() < 0.8 * without.speed()[sel].mean()
 
+    @pytest.mark.slow
     def test_breach_changes_local_flow(self):
         """A breach must be observable -- the digital-twin requirement."""
         m = default_mesh()
@@ -106,6 +109,7 @@ class TestFullSolve:
         delta = np.abs(breached.speed()[sel] - intact.speed()[sel]).max()
         assert delta > 0.3  # m/s: well above numerical noise
 
+    @pytest.mark.slow
     def test_buoyancy_lifts_warm_air(self):
         """Hot ground with no wind drives an upward plume."""
         m = default_mesh()
@@ -133,6 +137,7 @@ class TestFullSolve:
         f = ProjectionSolver(m, bcs, cfg).solve().fields
         assert float(f.speed().max()) < 1e-8
 
+    @pytest.mark.slow
     def test_stronger_wind_more_interior_flow(self):
         weak = build_solver(wind=1.0, n_steps=150).solve().fields
         strong = build_solver(wind=6.0, n_steps=150).solve().fields
