@@ -33,12 +33,17 @@ def summarize(samples) -> SampleSummary:
     arr = np.asarray(samples, dtype=np.float64)
     if arr.ndim != 1 or arr.size == 0:
         raise ValueError(f"need a non-empty 1-D series, got shape {arr.shape}")
+    minimum = float(arr.min())
+    maximum = float(arr.max())
+    # Pairwise summation can put the mean an ulp outside [min, max] (e.g.
+    # three identical values); clamp so min <= mean <= max always holds.
+    mean = min(max(float(arr.mean()), minimum), maximum)
     return SampleSummary(
         n=int(arr.size),
-        mean=float(arr.mean()),
+        mean=mean,
         std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
-        minimum=float(arr.min()),
-        maximum=float(arr.max()),
+        minimum=minimum,
+        maximum=maximum,
     )
 
 

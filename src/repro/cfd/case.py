@@ -56,8 +56,8 @@ class CfdCase:
     config: SolverConfig
     telemetry: Optional[TelemetrySnapshot] = None
 
-    def build_solver(self) -> ProjectionSolver:
-        return ProjectionSolver(self.mesh, self.bcs, self.config)
+    def build_solver(self, tracer=None) -> ProjectionSolver:
+        return ProjectionSolver(self.mesh, self.bcs, self.config, tracer=tracer)
 
     def write(self, directory: str) -> str:
         """Materialize an OpenFOAM-shaped case directory; returns its path."""

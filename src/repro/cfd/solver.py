@@ -47,6 +47,7 @@ longer calls them per step.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -59,6 +60,14 @@ from repro.cfd.boundary import (
 )
 from repro.cfd.fields import FlowFields, PaddedScratch
 from repro.cfd.mesh import StructuredMesh
+from repro.obs.trace import NULL_TRACER, Tracer
+
+#: Wall-time histogram buckets for kernel timings (seconds): the step and
+#: Poisson loops run 1e-5 .. 1e1 s depending on mesh size.
+WALL_BUCKETS = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+    0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0,
+)
 
 #: Air properties (SI).
 NU_AIR = 1.5e-5          # kinematic viscosity, m^2/s
@@ -400,10 +409,12 @@ class ProjectionSolver:
         mesh: StructuredMesh,
         bcs: BoundaryConditions,
         config: Optional[SolverConfig] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.mesh = mesh
         self.bcs = bcs
         self.config = config if config is not None else SolverConfig()
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._resistance = bcs.resistance_mask(mesh)
 
         # Grid scalars, hoisted so stencils never recompute them.
@@ -685,6 +696,31 @@ class ProjectionSolver:
 
     def _solve_pressure_serial(self) -> None:
         """Run the configured pressure solver on the loaded workspace."""
+        tr = self._tracer
+        if not tr.enabled:
+            self._solve_pressure_impl()
+            return
+        t0 = time.perf_counter()
+        self._solve_pressure_impl()
+        wall = time.perf_counter() - t0
+        sweeps = self.last_pressure_sweeps
+        m = tr.metrics
+        m.counter("cfd.poisson.sweeps", help="pressure sweeps run").inc(
+            sweeps, solver=self.config.pressure_solver
+        )
+        m.histogram(
+            "cfd.poisson.solve_wall_s",
+            help="wall time of one pressure solve",
+            buckets=WALL_BUCKETS,
+        ).observe(wall, solver=self.config.pressure_solver)
+        if sweeps:
+            m.histogram(
+                "cfd.poisson.sweep_wall_s",
+                help="wall time per pressure sweep",
+                buckets=WALL_BUCKETS,
+            ).observe(wall / sweeps, solver=self.config.pressure_solver)
+
+    def _solve_pressure_impl(self) -> None:
         ws = self.pressure
         cfg = self.config
         if cfg.pressure_solver == "jacobi":
@@ -717,7 +753,29 @@ class ProjectionSolver:
     # -- the time step --------------------------------------------------------------------
 
     def step(self, f: FlowFields) -> None:
-        """Advance one time step in place (allocation-free hot path)."""
+        """Advance one time step in place (allocation-free hot path).
+
+        Instrumentation lives in this thin wrapper so the untraced path
+        (``NULL_TRACER``, the default) pays exactly one attribute load and
+        branch over the raw kernel -- asserted <3% by
+        ``benchmarks/test_obs_overhead.py``, which times ``_step_impl``
+        directly as the baseline.
+        """
+        tr = self._tracer
+        if not tr.enabled:
+            self._step_impl(f)
+            return
+        span = tr.span("cfd.step", category="cfd")
+        self._step_impl(f)
+        span.annotate(pressure_sweeps=self.last_pressure_sweeps).end()
+        m = tr.metrics
+        m.counter("cfd.steps", help="time steps advanced").inc()
+        m.histogram(
+            "cfd.step.wall_s", help="wall time of one step",
+            buckets=WALL_BUCKETS,
+        ).observe(span.duration_wall)
+
+    def _step_impl(self, f: FlowFields) -> None:
         m = self.mesh
         self.apply_velocity_bcs(f)
         self.apply_temperature_bcs(f)

@@ -21,7 +21,12 @@ from repro.core.config import FabricConfig
 from repro.core.telemetry import TelemetryRecord
 from repro.core.digital_twin import DigitalTwin, TwinComparison
 from repro.core.fabric import CfdRunRecord, FabricMetrics, XGFabric
-from repro.core.e2e import E2EReport, analyze_end_to_end
+from repro.core.e2e import (
+    E2EReport,
+    FIG3_STAGES,
+    analyze_end_to_end,
+    fabric_latency_budget,
+)
 from repro.core.scenario import Scenario, ScenarioResult
 
 __all__ = [
@@ -33,7 +38,9 @@ __all__ = [
     "FabricMetrics",
     "CfdRunRecord",
     "E2EReport",
+    "FIG3_STAGES",
     "analyze_end_to_end",
+    "fabric_latency_budget",
     "Scenario",
     "ScenarioResult",
 ]

@@ -14,6 +14,12 @@ The paper's headline numbers:
 
 :func:`analyze_end_to_end` derives all of these from a fabric run plus the
 calibrated models, so the benchmark harness can print paper-vs-measured.
+
+When the fabric ran with an enabled :class:`~repro.obs.trace.Tracer`, the
+transfer leg is *measured* from the recorded ``cspot.append`` and
+``cspot.fetch`` spans instead of hand-carried from the Table 1 anchors
+(``E2EReport.source == "traced"``), and :func:`fabric_latency_budget`
+assembles the full Fig. 3 critical-path table from the same span record.
 """
 
 from __future__ import annotations
@@ -23,6 +29,8 @@ from dataclasses import dataclass
 from repro.cfd.perfmodel import CfdPerformanceModel
 from repro.core.fabric import FabricMetrics, XGFabric
 from repro.cspot.paths import TABLE1_ANCHORS
+from repro.obs.critical_path import LatencyBudget, Stage, staged_critical_path
+from repro.obs.trace import Span, mean_duration_sim
 
 
 @dataclass(frozen=True)
@@ -32,7 +40,8 @@ class E2EReport:
     telemetry_interval_s: float
     #: Measured UNL->UCSB CSPOT append latency (s), averaged over the run.
     mean_telemetry_latency_s: float
-    #: Modeled UNL -> ND transfer (UNL->UCSB + UCSB->ND), seconds.
+    #: UNL -> ND transfer (UNL->UCSB + UCSB->ND), seconds. Modeled from
+    #: the Table 1 anchors, or measured from spans when traced.
     transfer_unl_to_nd_s: float
     #: Sustained cadence on dedicated cores (s per simulation).
     sustained_interval_s: float
@@ -44,6 +53,9 @@ class E2EReport:
     max_queue_wait_s: float
     change_alerts: int
     duty_cycles: int
+    #: Where the transfer figure came from: ``"modeled"`` (Table 1
+    #: anchors) or ``"traced"`` (measured from recorded spans).
+    source: str = "modeled"
 
     @property
     def meets_real_time_requirement(self) -> bool:
@@ -56,12 +68,44 @@ class E2EReport:
         return [
             f"telemetry interval          {self.telemetry_interval_s:8.0f} s",
             f"mean CSPOT append (5G+Int.) {self.mean_telemetry_latency_s * 1e3:8.0f} ms",
-            f"UNL->ND transfer (modeled)  {self.transfer_unl_to_nd_s * 1e3:8.0f} ms",
+            f"UNL->ND transfer ({self.source:>7s}) {self.transfer_unl_to_nd_s * 1e3:7.0f} ms",
             f"sustained cadence (64 core) {self.sustained_interval_s / 60:8.1f} min",
             f"min validity window         {self.min_validity_window_s / 60:8.1f} min",
             f"CFD runs / alerts / cycles  {self.cfd_runs:4d} / {self.change_alerts} / {self.duty_cycles}",
             f"queue wait mean / max       {self.mean_queue_wait_s:6.1f} / {self.max_queue_wait_s:.1f} s",
         ]
+
+
+def _transfer_leg(fabric: XGFabric) -> tuple[float, str]:
+    """The UNL->ND transfer time (s) and where it came from.
+
+    Traced runs measure it: mean of the recorded telemetry ``cspot.append``
+    spans (the UNL->UCSB two-RTT protocol over 5G+Internet) plus the mean
+    ``cspot.fetch`` of the alert log (the UCSB->ND hop). Untraced runs fall
+    back to the Table 1 anchors, as the seed did.
+    """
+    tracer = getattr(fabric, "tracer", None)
+    if tracer is not None and tracer.enabled:
+        appends = [
+            s for s in tracer.spans_named("cspot.append")
+            if str(s.attrs.get("log", "")).startswith("telemetry.")
+            and "error" not in s.attrs
+        ]
+        if appends:
+            fetches = [
+                s for s in tracer.spans_named("cspot.fetch")
+                if s.attrs.get("log") == "alerts" and "error" not in s.attrs
+            ]
+            hop2 = (
+                mean_duration_sim(fetches)
+                if fetches
+                else TABLE1_ANCHORS["ucsb-nd-internet"][0] / 1e3
+            )
+            return mean_duration_sim(appends) + hop2, "traced"
+    modeled = (
+        TABLE1_ANCHORS["unl-ucsb-5g"][0] + TABLE1_ANCHORS["ucsb-nd-internet"][0]
+    ) / 1e3
+    return modeled, "modeled"
 
 
 def analyze_end_to_end(
@@ -71,9 +115,7 @@ def analyze_end_to_end(
     m = metrics if metrics is not None else fabric.metrics
     cfg = fabric.config
     perf: CfdPerformanceModel = fabric.perfmodel
-    transfer = (
-        TABLE1_ANCHORS["unl-ucsb-5g"][0] + TABLE1_ANCHORS["ucsb-nd-internet"][0]
-    ) / 1e3
+    transfer, source = _transfer_leg(fabric)
     sustained = perf.sustained_interval_s(cfg.cores_per_simulation)
     if m.cfd_runs:
         min_validity = min(r.validity_window_s for r in m.cfd_runs)
@@ -95,4 +137,55 @@ def analyze_end_to_end(
         max_queue_wait_s=max_wait,
         change_alerts=m.change_alerts,
         duty_cycles=m.duty_cycles,
+        source=source,
+    )
+
+
+def _is_telemetry_append(span: Span) -> bool:
+    return str(span.attrs.get("log", "")).startswith("telemetry.")
+
+
+def _is_alert_epoch(span: Span) -> bool:
+    return span.attrs.get("alert") is True
+
+
+def _is_alert_fetch(span: Span) -> bool:
+    return span.attrs.get("log") == "alerts"
+
+
+#: The Fig. 3 pipeline as a declared stage order over recorded span names:
+#: radio TX -> CSPOT append (UNL->UCSB) -> Laminar change detection ->
+#: alert fetch (UCSB->ND) -> pilot dispatch -> CFD solve -> operator
+#: notification. :func:`~repro.obs.critical_path.staged_critical_path`
+#: turns a traced run's spans into the section 4.4 latency-budget table.
+FIG3_STAGES = [
+    Stage("radio.tx", "radio TX (UE uplink)"),
+    Stage("cspot.append", "CSPOT append UNL->UCSB (2 RTT)",
+          where=_is_telemetry_append),
+    Stage("laminar.epoch", "Laminar change detection", where=_is_alert_epoch),
+    Stage("cspot.fetch", "alert fetch UCSB->ND (1 RTT)",
+          where=_is_alert_fetch),
+    Stage("pilot.dispatch", "pilot dispatch (queue wait)"),
+    Stage("cfd.sim", "CFD solve (64 cores, simulated)", required=True),
+    Stage("fabric.notify", "operator notification ND->UNL"),
+]
+
+
+def fabric_latency_budget(fabric: XGFabric) -> LatencyBudget:
+    """The Fig. 3 critical path of a traced fabric run, from real spans.
+
+    Requires the fabric to have run with an enabled tracer and at least
+    one completed CFD trigger; raises
+    :class:`~repro.obs.critical_path.StageError` otherwise.
+    """
+    tracer = fabric.tracer
+    if not tracer.enabled:
+        raise ValueError(
+            "fabric_latency_budget needs a traced run: construct the "
+            "fabric with tracer=Tracer()"
+        )
+    return staged_critical_path(
+        tracer.finished_spans(),
+        FIG3_STAGES,
+        title="Fig. 3 critical path: sensor -> HPC -> operator (measured)",
     )

@@ -29,6 +29,7 @@ from repro.hpc.site import HpcSite, QueueLoadGenerator
 from repro.hpc.sites import nd_crc
 from repro.laminar.change_detect import ChangeDetector, build_change_detection_graph
 from repro.laminar.runtime import LaminarRuntime
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, Tracer
 from repro.pilot.controller import PilotController
 from repro.pilot.multisite import MultiSitePilotController
 from repro.pilot.task import Task
@@ -91,6 +92,11 @@ class XGFabric:
         Optional breach schedule (ground truth for the scenario).
     site:
         HPC site override; default a Notre Dame CRC preset.
+    tracer:
+        Observability tracer (see :mod:`repro.obs`). Disabled by default
+        (``NULL_TRACER``); pass ``Tracer()`` to record spans and metrics
+        across every layer -- the engine hook, CSPOT appends, Laminar
+        fires, pilot decisions, and CFD solves all report through it.
     """
 
     def __init__(
@@ -98,10 +104,16 @@ class XGFabric:
         config: Optional[FabricConfig] = None,
         breaches: Optional[BreachSchedule] = None,
         site: Optional[HpcSite] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config if config is not None else FabricConfig()
         cfg = self.config
         self.engine = Engine(seed=cfg.seed)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            # Single attachment point: the engine clock becomes the span
+            # sim-time source and events count into ``sim.events``.
+            self.tracer.attach(self.engine)
         self.metrics = FabricMetrics()
         self.breaches = breaches if breaches is not None else BreachSchedule()
 
@@ -115,7 +127,7 @@ class XGFabric:
         self.unl = CSPOTNode(self.engine, "unl")
         self.ucsb = CSPOTNode(self.engine, "ucsb")
         self.nd = CSPOTNode(self.engine, "nd")
-        self.transport = Transport(self.engine)
+        self.transport = Transport(self.engine, tracer=self.tracer)
         paths = testbed_paths()
         self.transport.connect("unl", "ucsb", paths["unl-ucsb-5g"])
         self.transport.connect("ucsb", "nd", paths["ucsb-nd-internet"])
@@ -154,6 +166,8 @@ class XGFabric:
                 "5g-tdd", cfg.radio_bandwidth_mhz, name="prod"
             )
             self._ue = self.radio.add_ue("raspberry-pi", ue_id="unl-gateway")
+            if self.tracer.enabled:
+                self.radio.gnb.bind_metrics(self.tracer.metrics)
 
         # -- change detection (Laminar on CSPOT) --------------------------------------
         self.detector = ChangeDetector(
@@ -173,6 +187,7 @@ class XGFabric:
             hosts={"unl": self.unl, "ucsb": self.ucsb},
             transport=self.transport,
             default_host="ucsb",
+            tracer=self.tracer,
         )
         self._epoch = 0
 
@@ -189,6 +204,7 @@ class XGFabric:
                 cfg.cores_per_simulation
             ),
             walltime_factor=cfg.pilot_walltime_factor,
+            tracer=self.tracer,
         )
         self.multisite: Optional[MultiSitePilotController] = None
         if cfg.multi_site:
@@ -225,6 +241,15 @@ class XGFabric:
     def run(self, duration_s: float) -> FabricMetrics:
         """Run the whole pipeline for ``duration_s`` of simulated time."""
         cfg = self.config
+        root = (
+            self.tracer.span(
+                "fabric.run",
+                category="fabric",
+                attrs={"duration_s": duration_s, "seed": cfg.seed},
+            )
+            if self.tracer.enabled
+            else NULL_SPAN
+        )
         self.controller.bootstrap()  # the paper's initial single-node pilot
         if self._bg_load is not None:
             self._bg_load.start(duration_s)
@@ -234,12 +259,18 @@ class XGFabric:
             self._alert_poll_loop(duration_s), name="nd-alert-poller"
         )
         self.engine.run(until=duration_s)
+        root.annotate(
+            telemetry_sent=self.metrics.telemetry_sent,
+            change_alerts=self.metrics.change_alerts,
+            cfd_runs=len(self.metrics.cfd_runs),
+        ).end()
         return self.metrics
 
     # -- processes --------------------------------------------------------------------
 
     def _telemetry_loop(self, duration_s: float) -> Generator:
         cfg = self.config
+        tr = self.tracer
         while self.engine.now + cfg.telemetry_interval_s <= duration_s:
             yield self.engine.timeout(cfg.telemetry_interval_s)
             readings = []
@@ -253,6 +284,18 @@ class XGFabric:
                 readings.append(reading)
                 payload = TelemetryRecord.from_reading(reading).to_bytes()
                 start = self.engine.now
+                if tr.enabled:
+                    # The uplink TX itself is an instant here: its
+                    # serialization cost is folded into the calibrated
+                    # UNL->UCSB path latency of the append that follows.
+                    tr.record(
+                        "radio.tx", start, start,
+                        category="radio",
+                        attrs={
+                            "station": station.station_id,
+                            "bytes": len(payload),
+                        },
+                    )
                 yield self._appenders[station.station_id].append(payload)
                 self.metrics.telemetry_latencies_s.append(self.engine.now - start)
                 self.metrics.telemetry_sent += 1
@@ -276,9 +319,20 @@ class XGFabric:
             )
             epoch = self._epoch
             self._epoch += 1
+            span = (
+                self.tracer.span(
+                    "laminar.epoch",
+                    category="laminar",
+                    attrs={"epoch": epoch},
+                )
+                if self.tracer.enabled
+                else NULL_SPAN
+            )
             self._laminar.submit(epoch, {"current": current, "previous": previous})
             yield self._laminar.epoch_done(epoch)
-            if bool(self._laminar.value("alert", epoch)):
+            alert = bool(self._laminar.value("alert", epoch))
+            span.annotate(alert=alert).end()
+            if alert:
                 self.metrics.change_alerts += 1
                 self.ucsb.local_append(
                     "alerts", f"alert@{self.engine.now:.0f}".encode()
@@ -340,9 +394,39 @@ class XGFabric:
                     f"CFD trigger at {trigger_time:.0f}s failed on three pilots"
                 )
             queue_wait = (task.start_time or queue_start) - queue_start
+            tr = self.tracer
+            sim_span = None
+            if tr.enabled:
+                # Both intervals are only known after the task completes:
+                # record them retroactively on the simulated timeline.
+                started = task.start_time or queue_start
+                dispatch_span = tr.record(
+                    "pilot.dispatch", queue_start, started,
+                    category="pilot",
+                    attrs={"site": site_name, "nodes": task.nodes},
+                )
+                sim_span = tr.record(
+                    "cfd.sim", started, self.engine.now,
+                    category="cfd",
+                    cause=dispatch_span,
+                    attrs={
+                        "site": site_name,
+                        "cores": cfg.cores_per_simulation,
+                        "task": task.name,
+                    },
+                )
             # The real (laptop-scale) solve that feeds the digital twin.
-            fields = case.build_solver().solve().fields
+            twin_span = (
+                tr.span(
+                    "cfd.twin_solve", category="cfd", cause=sim_span,
+                    attrs={"case": case.name},
+                )
+                if tr.enabled
+                else NULL_SPAN
+            )
+            fields = case.build_solver(tracer=tr).solve().fields
             self.twin.update(case, fields)
+            twin_span.end()
             total = self.engine.now - trigger_time
             self.metrics.cfd_runs.append(
                 CfdRunRecord(
@@ -365,8 +449,17 @@ class XGFabric:
                 f"wind {case.bcs.inlet.speed_mps:.1f} m/s"
             ).encode()
             done_at = self.engine.now
+            notify_span = (
+                tr.span(
+                    "fabric.notify", category="fabric", cause=sim_span,
+                    attrs={"site": site_name},
+                )
+                if tr.enabled
+                else NULL_SPAN
+            )
             yield self._summary_appender.append(summary)
             yield self._operator_appender.append(summary)
+            notify_span.end()
             self.metrics.operator_notification_latencies_s.append(
                 self.engine.now - done_at
             )

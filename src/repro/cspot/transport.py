@@ -44,6 +44,7 @@ from repro.cspot.errors import (
 )
 from repro.cspot.faults import FaultInjector
 from repro.cspot.node import CSPOTNode
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.simkernel import Engine, Process
 
 
@@ -93,8 +94,9 @@ DEFAULT_APPEND_COST_S = 0.001
 class Transport:
     """Message transport between CSPOT nodes over named paths."""
 
-    def __init__(self, engine: Engine) -> None:
+    def __init__(self, engine: Engine, tracer: Optional[Tracer] = None) -> None:
         self.engine = engine
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._paths: dict[tuple[str, str], NetworkPath] = {}
         self._rng = engine.rng("cspot.transport")
 
@@ -130,13 +132,58 @@ class Transport:
         With it, the size fetch is skipped -- but if the cache is stale the
         server rejects the frame with :class:`ElementSizeError`.
         """
+        body = self._append_body(
+            client, server, log_name, payload, client_id, op_id,
+            cached_element_size, append_cost_s,
+        )
+        if self.tracer.enabled:
+            # The span wrapper lives outside `_append_body` so the untraced
+            # protocol body stays byte-for-byte free of instrumentation
+            # (benchmarks/test_obs_overhead.py times it directly).
+            body = self._traced_append(
+                body, client, server, log_name, payload, cached_element_size
+            )
         return self.engine.process(
-            self._append_body(
-                client, server, log_name, payload, client_id, op_id,
-                cached_element_size, append_cost_s,
-            ),
+            body,
             name=f"append:{client.name}->{server.name}:{log_name}",
         )
+
+    def _traced_append(
+        self,
+        body: Generator,
+        client: CSPOTNode,
+        server: CSPOTNode,
+        log_name: str,
+        payload: bytes,
+        cached_element_size: Optional[int],
+    ) -> Generator:
+        """Wrap an append body in a ``cspot.append`` span (enabled mode only)."""
+        tr = self.tracer
+        span = tr.span(
+            "cspot.append",
+            category="cspot",
+            attrs={
+                "src": client.name,
+                "dst": server.name,
+                "log": log_name,
+                "bytes": len(payload),
+                "size_cached": cached_element_size is not None,
+            },
+        )
+        start = self.engine.now
+        try:
+            seqno = yield from body
+        except Exception as exc:
+            span.annotate(error=type(exc).__name__).end()
+            tr.metrics.counter(
+                "cspot.append.errors", help="failed remote appends"
+            ).inc(log=log_name, error=type(exc).__name__)
+            raise
+        span.annotate(seqno=seqno).end()
+        tr.metrics.histogram(
+            "cspot.append.latency_s", help="remote append latency (sim)"
+        ).observe(self.engine.now - start, log=log_name)
+        return seqno
 
     def _append_body(
         self,
@@ -188,6 +235,10 @@ class Transport:
             self._require_server(server, path)
             seqno = log.append(payload, now=self.engine.now)
             server.dedup.record(client_id, op_id, seqno)
+        elif self.tracer.enabled:
+            self.tracer.metrics.counter(
+                "cspot.dedup.hits", help="duplicate appends absorbed server-side"
+            ).inc(log=log_name)
 
         # Ack leg: this is where "append succeeded, seqno lost" happens.
         if path.faults.drop_ack():
@@ -212,10 +263,48 @@ class Transport:
         pulling the alert log from UCSB on its duty cycle. The returned
         process yields a list of :class:`~repro.cspot.log.LogEntry`.
         """
+        body = self._fetch_body(client, server, log_name, since_seqno)
+        if self.tracer.enabled:
+            body = self._traced_fetch(body, client, server, log_name, since_seqno)
         return self.engine.process(
-            self._fetch_body(client, server, log_name, since_seqno),
+            body,
             name=f"fetch:{client.name}<-{server.name}:{log_name}",
         )
+
+    def _traced_fetch(
+        self,
+        body: Generator,
+        client: CSPOTNode,
+        server: CSPOTNode,
+        log_name: str,
+        since_seqno: int,
+    ) -> Generator:
+        """Wrap a fetch body in a ``cspot.fetch`` span (enabled mode only)."""
+        tr = self.tracer
+        span = tr.span(
+            "cspot.fetch",
+            category="cspot",
+            attrs={
+                "src": server.name,
+                "dst": client.name,
+                "log": log_name,
+                "since": since_seqno,
+            },
+        )
+        start = self.engine.now
+        try:
+            entries = yield from body
+        except Exception as exc:
+            span.annotate(error=type(exc).__name__).end()
+            tr.metrics.counter(
+                "cspot.fetch.errors", help="failed remote fetches"
+            ).inc(log=log_name, error=type(exc).__name__)
+            raise
+        span.annotate(entries=len(entries)).end()
+        tr.metrics.histogram(
+            "cspot.fetch.latency_s", help="remote fetch latency (sim)"
+        ).observe(self.engine.now - start, log=log_name)
+        return entries
 
     def _fetch_body(
         self,
@@ -301,9 +390,14 @@ class RemoteAppendClient:
 
     def _retry_body(self, payload: bytes, op_id: str) -> Generator:
         engine = self.transport.engine
+        tracer = self.transport.tracer
         last_error: Exception | None = None
         for attempt in range(self.max_retries):
             self.attempts += 1
+            if tracer.enabled:
+                tracer.metrics.counter(
+                    "cspot.append.attempts", help="reliable-append attempts"
+                ).inc(log=self.log_name)
             cached = self._cached_size if self.use_size_cache else None
             try:
                 seqno = yield self.transport.remote_append(
@@ -320,10 +414,18 @@ class RemoteAppendClient:
                     # Stale cache: invalidate and retry with a size fetch.
                     self._cached_size = None
                     last_error = exc
+                    if tracer.enabled:
+                        tracer.metrics.counter(
+                            "cspot.append.retries", help="retried appends"
+                        ).inc(log=self.log_name, error=type(exc).__name__)
                     continue
                 raise  # genuinely oversized payload: not retryable
             except (PartitionedError, NodeDownError, AckLostError) as exc:
                 last_error = exc
+                if tracer.enabled:
+                    tracer.metrics.counter(
+                        "cspot.append.retries", help="retried appends"
+                    ).inc(log=self.log_name, error=type(exc).__name__)
                 if self.retry_backoff_s:
                     # Exponential backoff, capped: long partitions (the
                     # paper's "frequent network interruption" in remote

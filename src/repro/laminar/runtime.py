@@ -28,6 +28,7 @@ from repro.cspot.transport import RemoteAppendClient, Transport
 from repro.laminar.graph import DataflowGraph, GraphError
 from repro.laminar.node import LaminarNode
 from repro.laminar.operand import Operand
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.simkernel import Engine
 
 _EPOCH_HEADER = struct.Struct("<Q")
@@ -60,11 +61,13 @@ class LaminarRuntime:
         hosts: dict[str, CSPOTNode],
         transport: Optional[Transport] = None,
         default_host: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         graph.validate()
         if not hosts:
             raise ValueError("need at least one host")
         self.engine = engine
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.graph = graph
         self.hosts = dict(hosts)
         self.transport = transport
@@ -274,17 +277,39 @@ class LaminarRuntime:
                 )
 
     def _fire_body(self, node: LaminarNode, host_name: str, epoch: int):
-        if node.compute_cost_s > 0:
-            yield self.engine.timeout(node.compute_cost_s)
-        args = [
-            self._values[(host_name, op.name, epoch)] for op in node.inputs
-        ]
-        result = node.fn(*args)
-        node.firings += 1
-        if node.output is not None:
-            yield from self._deliver_body(host_name, node.output, epoch, result)
+        tr = self.tracer
+        span = (
+            tr.span(
+                "laminar.fire",
+                category="laminar",
+                attrs={"node": node.name, "host": host_name, "epoch": epoch},
+            )
+            if tr.enabled
+            else None
+        )
+        try:
+            if node.compute_cost_s > 0:
+                yield self.engine.timeout(node.compute_cost_s)
+            args = [
+                self._values[(host_name, op.name, epoch)] for op in node.inputs
+            ]
+            result = node.fn(*args)
+            node.firings += 1
+            if node.output is not None:
+                yield from self._deliver_body(
+                    host_name, node.output, epoch, result
+                )
+        except Exception as exc:
+            if span is not None:
+                span.annotate(error=type(exc).__name__).end()
+            raise
         self._completed.add((node.name, epoch))
         self._maybe_complete(epoch)
+        if span is not None:
+            span.end()
+            tr.metrics.counter("laminar.fires", help="node firings").inc(
+                node=node.name, host=host_name
+            )
 
     def _deliver_body(
         self, src_host: str, operand: Operand, epoch: int, value: Any

@@ -1,0 +1,75 @@
+"""Observability across the whole fabric: tracing, metrics, critical path.
+
+The paper's headline result (section 4.4) is a latency budget -- ~200 ms
+sensor->HPC transfer, one 64-core CFD per ~7 min, results valid >= 23 min
+-- and this package is what lets the reproduction *measure* that budget
+from the pipeline it actually runs instead of hand-carrying the numbers:
+
+* :mod:`repro.obs.trace` -- :class:`Tracer` / :class:`Span`: nested spans
+  stamped with both simulated time (from the engine clock) and wall time,
+  with a zero-allocation no-op mode (:data:`NULL_TRACER`) when disabled;
+* :mod:`repro.obs.metrics` -- :class:`MetricsRegistry`: counters, gauges,
+  fixed-bucket histograms, and time series, all with labeled fan-out
+  (per-UE, per-site, per-log);
+* :mod:`repro.obs.critical_path` -- longest dependency chains and the
+  section 4.4-style :class:`LatencyBudget` table;
+* :mod:`repro.obs.export` -- JSONL and Chrome trace-event (Perfetto)
+  export, deterministic on the simulated clock.
+
+One :class:`Tracer` attaches to one engine (``tracer.attach(engine)``,
+riding the engine's ``add_trace_hook`` seam) and is threaded through the
+instrumented constructors; every instrumented component defaults to
+:data:`NULL_TRACER`, so untraced operation costs one branch.
+"""
+
+from repro.obs.critical_path import (
+    BudgetLeg,
+    LatencyBudget,
+    Stage,
+    StageError,
+    critical_path,
+    longest_chain,
+    staged_critical_path,
+)
+from repro.obs.export import (
+    export_run,
+    metrics_to_json,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+from repro.obs.trace import NULL_SPAN, NULL_TRACER, Span, Tracer, mean_duration_sim
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "NULL_TRACER",
+    "NULL_SPAN",
+    "mean_duration_sim",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "DEFAULT_BUCKETS",
+    "RATIO_BUCKETS",
+    "BudgetLeg",
+    "LatencyBudget",
+    "Stage",
+    "StageError",
+    "critical_path",
+    "longest_chain",
+    "staged_critical_path",
+    "spans_to_jsonl",
+    "spans_to_chrome_trace",
+    "metrics_to_json",
+    "export_run",
+]

@@ -1,0 +1,313 @@
+"""Critical-path extraction over completed span trees.
+
+Two extractors, both returning a :class:`LatencyBudget` (the section
+4.4-style table of legs):
+
+* :func:`critical_path` -- follow explicit ``cause`` links backwards from a
+  terminal span. This is exact where instrumented code records causality
+  (e.g. the fabric's CFD trigger chain).
+* :func:`staged_critical_path` -- reconstruct the chain from a declared
+  stage order (:class:`Stage` list) when causality crosses module
+  boundaries that don't pass span handles around: for each stage, pick the
+  latest matching span that completed before the downstream stage began.
+  This is how the Fig. 3 budget (radio TX -> CSPOT append -> Laminar fire
+  -> alert fetch -> pilot dispatch -> CFD solve -> raster) is assembled
+  from a real traced run.
+
+:func:`longest_chain` is the generic analysis: the cause-linked chain with
+the greatest total simulated duration anywhere in the span set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.obs.trace import Span
+
+#: Slack allowed when deciding "completed before" across stages, in
+#: simulated seconds. Zero-duration spans recorded at the same instant as
+#: their successor must still chain.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class BudgetLeg:
+    """One leg of a latency budget."""
+
+    stage: str
+    span_name: str
+    start_sim: float
+    duration_s: float
+    #: Gap between the previous leg's end and this leg's start (queueing,
+    #: polling delay, duty-cycle alignment...). Part of the end-to-end
+    #: latency but not of any instrumented operation.
+    wait_before_s: float = 0.0
+    span_id: int = 0
+    category: str = ""
+
+    @property
+    def end_sim(self) -> float:
+        return self.start_sim + self.duration_s
+
+
+@dataclass
+class LatencyBudget:
+    """An ordered chain of legs with §4.4-style rendering."""
+
+    legs: list[BudgetLeg] = field(default_factory=list)
+    title: str = "critical path"
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end span of the chain (first start to last end)."""
+        if not self.legs:
+            return 0.0
+        return self.legs[-1].end_sim - self.legs[0].start_sim
+
+    @property
+    def active_s(self) -> float:
+        """Sum of leg durations (total minus waits)."""
+        return sum(leg.duration_s for leg in self.legs)
+
+    def leg(self, stage: str) -> Optional[BudgetLeg]:
+        for entry in self.legs:
+            if entry.stage == stage:
+                return entry
+        return None
+
+    def duration_of(self, stage: str) -> float:
+        entry = self.leg(stage)
+        return entry.duration_s if entry is not None else 0.0
+
+    def rows(self) -> list[str]:
+        """Human-readable latency-budget table lines."""
+        if not self.legs:
+            return [f"== {self.title} ==", "(no legs)"]
+        width = max(max(len(leg.stage) for leg in self.legs), len("total")) + 2
+        lines = [
+            f"== {self.title} ==",
+            f"{'leg':<{width}} {'start (s)':>12} {'wait':>12} {'duration':>12}",
+        ]
+        for leg in self.legs:
+            lines.append(
+                f"{leg.stage:<{width}} {leg.start_sim:>12.3f} "
+                f"{_fmt_dur(leg.wait_before_s):>12} {_fmt_dur(leg.duration_s):>12}"
+            )
+        lines.append(
+            f"{'total':<{width}} {self.legs[0].start_sim:>12.3f} "
+            f"{_fmt_dur(self.total_s - self.active_s):>12} "
+            f"{_fmt_dur(self.total_s):>12}"
+        )
+        return lines
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (artifact trail for benchmarks)."""
+        return {
+            "title": self.title,
+            "total_s": self.total_s,
+            "active_s": self.active_s,
+            "legs": [
+                {
+                    "stage": leg.stage,
+                    "span": leg.span_name,
+                    "span_id": leg.span_id,
+                    "start_sim_s": leg.start_sim,
+                    "wait_before_s": leg.wait_before_s,
+                    "duration_s": leg.duration_s,
+                }
+                for leg in self.legs
+            ],
+        }
+
+
+def _fmt_dur(seconds: float) -> str:
+    if seconds >= 60.0:
+        return f"{seconds / 60.0:.1f} min"
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1e3:.1f} ms"
+
+
+def _legs_from_chain(chain: list[Span]) -> list[BudgetLeg]:
+    legs: list[BudgetLeg] = []
+    prev_end: Optional[float] = None
+    for span in chain:
+        wait = max(0.0, span.start_sim - prev_end) if prev_end is not None else 0.0
+        legs.append(
+            BudgetLeg(
+                stage=span.name,
+                span_name=span.name,
+                start_sim=span.start_sim,
+                duration_s=span.duration_sim,
+                wait_before_s=wait,
+                span_id=span.span_id,
+                category=span.category,
+            )
+        )
+        prev_end = span.end_sim
+    return legs
+
+
+# -- cause-link extraction ------------------------------------------------------
+
+
+def critical_path(
+    spans: Iterable[Span],
+    terminal: Optional[Span] = None,
+    title: str = "critical path",
+) -> LatencyBudget:
+    """Walk ``cause`` links backwards from ``terminal`` (default: the
+    finished span with the latest simulated end)."""
+    finished = [s for s in spans if s.finished]
+    if not finished:
+        return LatencyBudget(title=title)
+    by_id = {s.span_id: s for s in finished}
+    if terminal is None:
+        terminal = max(finished, key=lambda s: (s.end_sim, s.span_id))
+    chain = [terminal]
+    seen = {terminal.span_id}
+    cur = terminal
+    while cur.cause_id is not None:
+        nxt = by_id.get(cur.cause_id)
+        if nxt is None or nxt.span_id in seen:  # dangling or cyclic link
+            break
+        chain.append(nxt)
+        seen.add(nxt.span_id)
+        cur = nxt
+    chain.reverse()
+    return LatencyBudget(legs=_legs_from_chain(chain), title=title)
+
+
+def longest_chain(spans: Iterable[Span]) -> LatencyBudget:
+    """The cause-linked chain with the greatest total simulated duration.
+
+    Dynamic programming over the cause DAG (each span has at most one
+    cause, so chains are simple paths); ties break on span id for
+    determinism.
+    """
+    finished = sorted(
+        (s for s in spans if s.finished), key=lambda s: (s.start_sim, s.span_id)
+    )
+    if not finished:
+        return LatencyBudget(title="longest chain")
+    by_id = {s.span_id: s for s in finished}
+    best: dict[int, float] = {}
+
+    def weight(span: Span) -> float:
+        cached = best.get(span.span_id)
+        if cached is not None:
+            return cached
+        total = span.duration_sim
+        cause = by_id.get(span.cause_id) if span.cause_id is not None else None
+        if cause is not None and cause.span_id != span.span_id:
+            total += weight(cause)
+        best[span.span_id] = total
+        return total
+
+    terminal = max(finished, key=lambda s: (weight(s), -s.span_id))
+    return critical_path(finished, terminal=terminal, title="longest chain")
+
+
+# -- staged extraction --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One stage of a declared pipeline order.
+
+    Attributes
+    ----------
+    name:
+        Span name to match.
+    label:
+        Stage label shown in the budget table (defaults to ``name``).
+    where:
+        Optional extra predicate on the candidate span.
+    required:
+        When ``True``, a missing stage raises instead of being skipped --
+        use for stages whose absence means the pipeline never ran.
+    """
+
+    name: str
+    label: str = ""
+    where: Optional[Callable[[Span], bool]] = None
+    required: bool = False
+
+
+class StageError(ValueError):
+    """A required stage has no matching span."""
+
+
+def staged_critical_path(
+    spans: Iterable[Span],
+    stages: list[Stage],
+    terminal: Optional[Span] = None,
+    title: str = "critical path",
+) -> LatencyBudget:
+    """Assemble a causal chain from a declared stage order.
+
+    Walks ``stages`` backwards: the last stage anchors on ``terminal`` (or
+    the latest matching span), and each earlier stage picks the latest
+    matching span that *completed* no later than the downstream stage's
+    start (within a tolerance for zero-duration spans). The result is a
+    real happens-before chain reconstructed purely from recorded spans.
+    """
+    if not stages:
+        raise ValueError("need at least one stage")
+    finished = sorted(
+        (s for s in spans if s.finished), key=lambda s: (s.start_sim, s.span_id)
+    )
+
+    def matches(stage: Stage, span: Span) -> bool:
+        return span.name == stage.name and (
+            stage.where is None or stage.where(span)
+        )
+
+    chain: list[Span] = []
+    horizon: Optional[float] = None
+    for stage in reversed(stages):
+        if horizon is None and terminal is not None and stage is stages[-1]:
+            if not matches(stage, terminal):
+                raise StageError(
+                    f"terminal span {terminal.name!r} does not match final "
+                    f"stage {stage.name!r}"
+                )
+            pick: Optional[Span] = terminal
+        else:
+            candidates = [
+                s for s in finished
+                if matches(stage, s)
+                and (horizon is None or s.end_sim <= horizon + _EPS)
+            ]
+            pick = max(
+                candidates, key=lambda s: (s.end_sim, s.span_id), default=None
+            )
+        if pick is None:
+            if stage.required:
+                raise StageError(
+                    f"required stage {stage.name!r} has no completed span "
+                    f"before t={horizon}"
+                )
+            continue
+        chain.append(pick)
+        horizon = pick.start_sim
+    chain.reverse()
+
+    legs = _legs_from_chain(chain)
+    # Apply stage labels (legs default to span names).
+    labelled = []
+    by_name: dict[str, str] = {s.name: (s.label or s.name) for s in stages}
+    for leg in legs:
+        labelled.append(
+            BudgetLeg(
+                stage=by_name.get(leg.span_name, leg.span_name),
+                span_name=leg.span_name,
+                start_sim=leg.start_sim,
+                duration_s=leg.duration_s,
+                wait_before_s=leg.wait_before_s,
+                span_id=leg.span_id,
+                category=leg.category,
+            )
+        )
+    return LatencyBudget(legs=labelled, title=title)

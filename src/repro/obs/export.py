@@ -1,0 +1,169 @@
+"""Trace and metric export: JSONL and Chrome trace-event (Perfetto) formats.
+
+* :func:`spans_to_jsonl` -- one JSON object per span, for ad-hoc analysis
+  (``jq``, pandas). ``include_wall=False`` drops the wall-clock stamps so
+  two same-seed runs export byte-identical files (the determinism guard).
+* :func:`spans_to_chrome_trace` -- the Chrome trace-event JSON format,
+  loadable in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+  The simulated clock maps to trace microseconds; each span category gets
+  its own named track, so the whole fabric run reads as a timeline:
+  telemetry appends, Laminar fires, pilot waits, CFD solves.
+* :func:`metrics_to_json` -- deterministic registry snapshot.
+
+All writers accept a path (written UTF-8) and return the serialized text,
+so tests can assert on bytes without touching the filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+
+def _sorted_finished(spans: Iterable[Span]) -> list[Span]:
+    return sorted(
+        (s for s in spans if s.finished),
+        key=lambda s: (s.start_sim, s.span_id),
+    )
+
+
+def _write(text: str, path: Optional[str]) -> str:
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    return text
+
+
+def _jsonable_attrs(attrs: dict) -> dict:
+    """Attributes coerced to JSON-stable primitives, key-sorted."""
+    out = {}
+    for key in sorted(attrs):
+        value = attrs[key]
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def spans_to_jsonl(
+    spans: Iterable[Span],
+    path: Optional[str] = None,
+    include_wall: bool = True,
+) -> str:
+    """Serialize finished spans as JSON Lines, ordered by (start_sim, id)."""
+    lines = []
+    for s in _sorted_finished(spans):
+        record = {
+            "id": s.span_id,
+            "name": s.name,
+            "category": s.category,
+            "parent_id": s.parent_id,
+            "cause_id": s.cause_id,
+            "start_sim_s": s.start_sim,
+            "end_sim_s": s.end_sim,
+        }
+        if include_wall:
+            record["start_wall_s"] = s.start_wall
+            record["end_wall_s"] = s.end_wall
+        if s.attrs:
+            record["attrs"] = _jsonable_attrs(s.attrs)
+        lines.append(json.dumps(record, separators=(",", ":")))
+    return _write("\n".join(lines) + ("\n" if lines else ""), path)
+
+
+def spans_to_chrome_trace(
+    spans: Iterable[Span],
+    path: Optional[str] = None,
+    clock: str = "sim",
+) -> str:
+    """Serialize finished spans in Chrome trace-event JSON (Perfetto-loadable).
+
+    ``clock="sim"`` (default) places spans on the simulated timeline --
+    deterministic across same-seed runs; ``clock="wall"`` places them on
+    the wall-clock timeline for profiling the reproduction itself.
+    """
+    if clock not in ("sim", "wall"):
+        raise ValueError(f"clock must be 'sim' or 'wall': {clock!r}")
+    ordered = _sorted_finished(spans)
+    categories = sorted({s.category or "uncategorized" for s in ordered})
+    tids = {cat: i + 1 for i, cat in enumerate(categories)}
+
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": cat},
+        }
+        for cat, tid in sorted(tids.items(), key=lambda kv: kv[1])
+    ]
+    if clock == "wall" and ordered:
+        origin = min(s.start_wall for s in ordered)
+    else:
+        origin = 0.0
+    for s in ordered:
+        if clock == "sim":
+            start, dur = s.start_sim, s.duration_sim
+        else:
+            start, dur = s.start_wall - origin, s.duration_wall
+        args = {"span_id": s.span_id}
+        if s.cause_id is not None:
+            args["cause_id"] = s.cause_id
+        if s.attrs:
+            args.update(_jsonable_attrs(s.attrs))
+        events.append({
+            "ph": "X",
+            "pid": 1,
+            "tid": tids[s.category or "uncategorized"],
+            "name": s.name,
+            "cat": s.category or "uncategorized",
+            "ts": round(start * 1e6, 3),
+            "dur": round(dur * 1e6, 3),
+            "args": args,
+        })
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": clock, "producer": "repro.obs"},
+    }
+    return _write(json.dumps(doc, separators=(",", ":")), path)
+
+
+def metrics_to_json(
+    registry: MetricsRegistry, path: Optional[str] = None
+) -> str:
+    """Deterministic JSON snapshot of a metrics registry."""
+    return _write(
+        json.dumps(registry.collect(), indent=2, sort_keys=True), path
+    )
+
+
+def export_run(
+    tracer: Tracer,
+    directory: str,
+    prefix: str = "run",
+    include_wall: bool = True,
+) -> dict[str, str]:
+    """Write the full observability record of a run to ``directory``.
+
+    Emits ``<prefix>_spans.jsonl``, ``<prefix>_trace.json`` (Perfetto),
+    and ``<prefix>_metrics.json``; returns ``{kind: path}``.
+    """
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    spans = tracer.finished_spans()
+    paths = {
+        "spans": os.path.join(directory, f"{prefix}_spans.jsonl"),
+        "trace": os.path.join(directory, f"{prefix}_trace.json"),
+        "metrics": os.path.join(directory, f"{prefix}_metrics.json"),
+    }
+    spans_to_jsonl(spans, paths["spans"], include_wall=include_wall)
+    spans_to_chrome_trace(spans, paths["trace"], clock="sim")
+    metrics_to_json(tracer.metrics, paths["metrics"])
+    return paths

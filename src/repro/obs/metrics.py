@@ -1,0 +1,306 @@
+"""Metric primitives: counters, gauges, histograms, and time series.
+
+A :class:`MetricsRegistry` holds named metric *families*; each family holds
+one value (or distribution) per **label set**, so one ``radio.ue_throughput``
+series fans out per-UE, one ``cspot.append.attempts`` counter fans out
+per-log, and so on -- the Prometheus data model, sized for an in-process
+simulation run.
+
+Determinism: label keys are sorted tuples and :meth:`MetricsRegistry.collect`
+emits families and label sets in sorted order, so two identical runs produce
+byte-identical metric snapshots.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Optional
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    """Normalize a label dict to a hashable, sorted, string-valued key."""
+    if not labels:
+        return ()
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Family:
+    """Common storage/iteration for one named metric family."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._data: dict[LabelKey, Any] = {}
+
+    def label_sets(self) -> list[LabelKey]:
+        return sorted(self._data)
+
+    def _labels_to_dict(self, key: LabelKey) -> dict[str, str]:
+        return dict(key)
+
+
+class Counter(_Family):
+    """A monotonically increasing count (events, bytes, retries...)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment {amount}")
+        key = _label_key(labels)
+        self._data[key] = self._data.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return float(self._data.get(_label_key(labels), 0.0))
+
+    def total(self) -> float:
+        """Sum across every label set."""
+        return float(sum(self._data.values()))
+
+    def collect(self) -> list[dict]:
+        return [
+            {"labels": self._labels_to_dict(k), "value": self._data[k]}
+            for k in self.label_sets()
+        ]
+
+
+class Gauge(_Family):
+    """A value that goes up and down (queue depth, nodes available...)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._data[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        self._data[key] = self._data.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        return float(self._data.get(_label_key(labels), 0.0))
+
+    def collect(self) -> list[dict]:
+        return [
+            {"labels": self._labels_to_dict(k), "value": self._data[k]}
+            for k in self.label_sets()
+        ]
+
+
+#: Default histogram buckets: latencies from 1 ms to ~2 min (seconds).
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+#: Buckets for ratios in [0, 1] (PRB utilization, hit rates).
+RATIO_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+class _HistogramState:
+    __slots__ = ("counts", "sum", "count", "min", "max")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = [0] * (n_buckets + 1)  # +1 = overflow bucket
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+class Histogram(_Family):
+    """Fixed-bucket histogram of observed values.
+
+    Buckets are *upper bounds* (inclusive); values above the last bound
+    land in the overflow bucket. Fixed buckets keep observation O(log B)
+    with no allocation, which is what a per-TTI hot loop needs.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError(f"histogram {self.name!r}: need at least one bucket")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram {self.name!r}: buckets must be strictly increasing"
+            )
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        state = self._data.get(key)
+        if state is None:
+            state = self._data[key] = _HistogramState(len(self.buckets))
+        state.counts[bisect.bisect_left(self.buckets, value)] += 1
+        state.sum += value
+        state.count += 1
+        if value < state.min:
+            state.min = value
+        if value > state.max:
+            state.max = value
+
+    # -- per-label-set accessors ----------------------------------------------
+
+    def _state(self, labels: dict) -> Optional[_HistogramState]:
+        return self._data.get(_label_key(labels))
+
+    def count(self, **labels: Any) -> int:
+        s = self._state(labels)
+        return s.count if s is not None else 0
+
+    def sum(self, **labels: Any) -> float:
+        s = self._state(labels)
+        return s.sum if s is not None else 0.0
+
+    def mean(self, **labels: Any) -> float:
+        s = self._state(labels)
+        return s.sum / s.count if s is not None and s.count else 0.0
+
+    def quantile(self, q: float, **labels: Any) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        containing the q-th observation; the overflow bucket reports the
+        observed max)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of [0,1]: {q}")
+        s = self._state(labels)
+        if s is None or s.count == 0:
+            return 0.0
+        rank = q * s.count
+        seen = 0
+        for i, c in enumerate(s.counts):
+            seen += c
+            if seen >= rank and c:
+                return self.buckets[i] if i < len(self.buckets) else s.max
+        return s.max
+
+    def collect(self) -> list[dict]:
+        out = []
+        for key in self.label_sets():
+            s = self._data[key]
+            out.append({
+                "labels": self._labels_to_dict(key),
+                "count": s.count,
+                "sum": s.sum,
+                "min": s.min if s.count else 0.0,
+                "max": s.max if s.count else 0.0,
+                "buckets": [
+                    {"le": b, "count": c}
+                    for b, c in zip(self.buckets, s.counts)
+                ] + [{"le": "inf", "count": s.counts[-1]}],
+            })
+        return out
+
+
+class Series(_Family):
+    """An append-only ``(t, value)`` time series per label set.
+
+    The substrate for "per-UE throughput over the run" / "PRB utilization
+    per TTI" style plots. ``maxlen`` bounds memory for long-horizon runs
+    by dropping the oldest points (the aggregates in a sibling histogram
+    are the unbounded record).
+    """
+
+    kind = "series"
+
+    def __init__(
+        self, name: str, help: str = "", maxlen: Optional[int] = None
+    ) -> None:
+        super().__init__(name, help)
+        if maxlen is not None and maxlen < 1:
+            raise ValueError(f"series {self.name!r}: maxlen must be >= 1")
+        self.maxlen = maxlen
+
+    def append(self, t: float, value: float, **labels: Any) -> None:
+        key = _label_key(labels)
+        points = self._data.get(key)
+        if points is None:
+            points = self._data[key] = []
+        points.append((float(t), float(value)))
+        if self.maxlen is not None and len(points) > self.maxlen:
+            del points[: len(points) - self.maxlen]
+
+    def points(self, **labels: Any) -> list[tuple[float, float]]:
+        return list(self._data.get(_label_key(labels), ()))
+
+    def collect(self) -> list[dict]:
+        return [
+            {"labels": self._labels_to_dict(k), "points": list(self._data[k])}
+            for k in self.label_sets()
+        ]
+
+
+class MetricsRegistry:
+    """Named metric families with create-or-get semantics.
+
+    Asking for an existing name with a different kind (or different
+    histogram buckets) is a programming error and raises -- silent
+    divergence between two call sites would corrupt the series.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    def _get(self, name: str, kind: type, factory) -> Any:
+        fam = self._families.get(name)
+        if fam is None:
+            fam = self._families[name] = factory()
+        elif not isinstance(fam, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as {fam.kind}, "
+                f"not {kind.kind}"
+            )
+        return fam
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self, name: str, help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        hist = self._get(name, Histogram, lambda: Histogram(name, help, buckets))
+        if hist.buckets != tuple(float(b) for b in buckets):
+            raise ValueError(
+                f"histogram {name!r} already registered with different buckets"
+            )
+        return hist
+
+    def series(
+        self, name: str, help: str = "", maxlen: Optional[int] = None
+    ) -> Series:
+        return self._get(name, Series, lambda: Series(name, help, maxlen))
+
+    def names(self) -> list[str]:
+        return sorted(self._families)
+
+    def get(self, name: str) -> _Family:
+        return self._families[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def collect(self) -> dict[str, dict]:
+        """Deterministic snapshot of every family, JSON-ready."""
+        return {
+            name: {
+                "kind": fam.kind,
+                "help": fam.help,
+                "data": fam.collect(),
+            }
+            for name, fam in sorted(self._families.items())
+        }

@@ -1,0 +1,319 @@
+"""Dual-clock tracing: nested spans stamped with simulated and wall time.
+
+Every span carries two intervals:
+
+* **simulated time** -- read from the attached
+  :class:`~repro.simkernel.engine.Engine`'s clock, so a span around a
+  CSPOT append measures the protocol's modeled latency (the quantity the
+  paper's Table 1 and section 4.4 report);
+* **wall time** -- ``time.perf_counter()``, so the same span also measures
+  what the *reproduction* costs to run (the quantity the perf PRs care
+  about).
+
+Design constraints, in priority order:
+
+1. **Disabled tracing is free.** ``NULL_TRACER`` (the default everywhere)
+   returns one shared, immutable :data:`NULL_SPAN` from every call -- no
+   allocation, no clock reads, no branches beyond ``tracer.enabled``.
+   Instrumented hot loops guard on ``tracer.enabled`` before building
+   attribute dicts, so the disabled cost is a single attribute load and
+   branch (asserted <3% by ``benchmarks/test_obs_overhead.py``).
+2. **Determinism.** Span ids are sequential, spans are recorded in
+   creation order, and sim-time stamps derive only from the engine clock
+   -- two runs with the same seed export byte-identical sim-time traces
+   (the determinism guard test).
+3. **Causality is explicit.** A discrete-event simulation interleaves
+   hundreds of concurrent processes, so "current span" context would lie.
+   Parents and causal predecessors (``cause=``) are passed explicitly;
+   :mod:`repro.obs.critical_path` walks the ``cause`` links.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.simkernel.engine import Engine
+
+
+class Span:
+    """One traced operation with sim-time and wall-time intervals.
+
+    Spans are created by :meth:`Tracer.span` (open, ended later) or
+    :meth:`Tracer.record` (already completed). A span is "finished" once
+    ``end_sim`` is not ``None``; only finished spans are exported.
+    """
+
+    __slots__ = (
+        "span_id", "name", "category", "parent_id", "cause_id",
+        "start_sim", "end_sim", "start_wall", "end_wall", "attrs",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        name: str,
+        category: str,
+        parent_id: Optional[int],
+        cause_id: Optional[int],
+        start_sim: float,
+        start_wall: float,
+        attrs: Optional[dict],
+    ) -> None:
+        self._tracer = tracer
+        self.span_id = span_id
+        self.name = name
+        self.category = category
+        self.parent_id = parent_id
+        self.cause_id = cause_id
+        self.start_sim = start_sim
+        self.end_sim: Optional[float] = None
+        self.start_wall = start_wall
+        self.end_wall: Optional[float] = None
+        self.attrs: dict = attrs if attrs is not None else {}
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def end(self) -> "Span":
+        """Close the span at the current sim/wall instant (idempotent)."""
+        if self.end_sim is None:
+            self.end_sim = self._tracer.now_sim()
+            self.end_wall = time.perf_counter()
+        return self
+
+    def annotate(self, **attrs: Any) -> "Span":
+        """Attach key/value attributes (merged; later keys win)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.end()
+        return False
+
+    # -- derived quantities -----------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.end_sim is not None
+
+    @property
+    def duration_sim(self) -> float:
+        """Simulated duration in seconds (0.0 while open)."""
+        return (self.end_sim - self.start_sim) if self.end_sim is not None else 0.0
+
+    @property
+    def duration_wall(self) -> float:
+        """Wall-clock duration in seconds (0.0 while open)."""
+        return (self.end_wall - self.start_wall) if self.end_wall is not None else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration_sim * 1e3:.2f}ms" if self.finished else "open"
+        return f"Span(#{self.span_id} {self.name!r} [{self.category}] {state})"
+
+
+class _NullSpan:
+    """The shared no-op span returned while tracing is disabled.
+
+    Immutable and stateless: every method is a no-op returning ``self``,
+    so instrumented code can call ``span.annotate(...).end()`` without a
+    single allocation.
+    """
+
+    __slots__ = ()
+
+    span_id = 0
+    name = ""
+    category = ""
+    parent_id = None
+    cause_id = None
+    start_sim = 0.0
+    end_sim = 0.0
+    start_wall = 0.0
+    end_wall = 0.0
+    finished = True
+    duration_sim = 0.0
+    duration_wall = 0.0
+
+    @property
+    def attrs(self) -> dict:
+        return {}
+
+    def end(self) -> "_NullSpan":
+        return self
+
+    def annotate(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "NullSpan()"
+
+
+#: The shared disabled-mode span.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Produces spans stamped with both simulated and wall time.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` every :meth:`span`/:meth:`record` call returns
+        :data:`NULL_SPAN` and nothing is stored. The module-level
+        :data:`NULL_TRACER` is the canonical disabled instance and the
+        default for every instrumented constructor.
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` instrumented code
+        reaches through ``tracer.metrics`` (a fresh registry by default),
+        so one object carries the whole observability surface.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.enabled = enabled
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans: list[Span] = []
+        self.events_observed = 0
+        self._engine: Optional["Engine"] = None
+        self._next_id = 1
+
+    # -- clock / engine attachment ----------------------------------------------
+
+    def attach(self, engine: "Engine") -> "Tracer":
+        """Bind this tracer to an engine.
+
+        The engine's clock becomes the sim-time source, and -- via the
+        engine's existing ``add_trace_hook`` seam -- every processed event
+        is counted into the ``sim.events`` metric. One attach call is the
+        single attachment point through which a tracer observes a whole
+        run; no other engine surgery is needed.
+        """
+        self._engine = engine
+        if self.enabled:
+            counter = self.metrics.counter(
+                "sim.events", help="events processed by the attached engine"
+            )
+
+            def _on_event(now: float, event: object) -> None:
+                self.events_observed += 1
+                counter.inc()
+
+            engine.add_trace_hook(_on_event)
+        return self
+
+    def now_sim(self) -> float:
+        """Current simulated time (0.0 when no engine is attached)."""
+        return self._engine.now if self._engine is not None else 0.0
+
+    # -- span creation -----------------------------------------------------------
+
+    def span(
+        self,
+        name: str,
+        category: str = "",
+        parent: Optional[Span] = None,
+        cause: Optional[Span] = None,
+        attrs: Optional[dict] = None,
+    ):
+        """Open a span starting now; caller must ``end()`` it (or use
+        ``with``). Returns :data:`NULL_SPAN` when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        span = Span(
+            self,
+            self._next_id,
+            name,
+            category,
+            parent.span_id if parent is not None and parent.span_id else None,
+            cause.span_id if cause is not None and cause.span_id else None,
+            self.now_sim(),
+            time.perf_counter(),
+            attrs,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def record(
+        self,
+        name: str,
+        start_sim: float,
+        end_sim: float,
+        category: str = "",
+        parent: Optional[Span] = None,
+        cause: Optional[Span] = None,
+        attrs: Optional[dict] = None,
+    ):
+        """Record an already-completed sim-time interval as a span.
+
+        For operations whose boundaries are only known after the fact
+        (e.g. a pilot task's queue wait, reconstructed from the task's
+        recorded start time). Wall stamps are both "now": the wall cost
+        of a purely simulated interval is zero by definition.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if end_sim < start_sim:
+            raise ValueError(
+                f"span {name!r}: end_sim {end_sim} before start_sim {start_sim}"
+            )
+        span = self.span(name, category=category, parent=parent, cause=cause,
+                         attrs=attrs)
+        span.start_sim = start_sim
+        span.end_sim = end_sim
+        span.end_wall = span.start_wall
+        return span
+
+    # -- queries -----------------------------------------------------------------
+
+    def finished_spans(self) -> list[Span]:
+        """All finished spans, ordered by (start_sim, span_id)."""
+        return sorted(
+            (s for s in self.spans if s.finished),
+            key=lambda s: (s.start_sim, s.span_id),
+        )
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [s for s in self.finished_spans() if s.name == name]
+
+    def spans_in(self, category: str) -> list[Span]:
+        return [s for s in self.finished_spans() if s.category == category]
+
+    def find(self, span_id: int) -> Optional[Span]:
+        for s in self.spans:
+            if s.span_id == span_id:
+                return s
+        return None
+
+    def clear(self) -> None:
+        """Drop all recorded spans (metrics are left alone)."""
+        self.spans.clear()
+
+
+#: The canonical disabled tracer: default for every instrumented component.
+NULL_TRACER = Tracer(enabled=False)
+
+
+def mean_duration_sim(spans: Iterable[Span]) -> float:
+    """Mean simulated duration of the given spans (0.0 when empty)."""
+    durations = [s.duration_sim for s in spans if s.finished]
+    return sum(durations) / len(durations) if durations else 0.0

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.hpc.site import HpcSite
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.pilot.pilot import Pilot, PilotState
 from repro.simkernel import Engine
 
@@ -63,6 +64,7 @@ class PilotController:
         threshold_bytes: float,
         task_runtime_estimate_s: float,
         walltime_factor: float = 4.0,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if threshold_bytes <= 0:
             raise ValueError("threshold must be positive")
@@ -71,6 +73,7 @@ class PilotController:
         if walltime_factor < 1.0:
             raise ValueError("walltime_factor must be >= 1")
         self.engine = engine
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.site = site
         self.threshold_bytes = threshold_bytes
         self.task_runtime_estimate_s = task_runtime_estimate_s
@@ -110,6 +113,7 @@ class PilotController:
                 submitted=False,
             )
             self.decisions.append(decision)
+            self._observe_decision(decision)
             return decision
         nodes = min(self.site.cluster.total_nodes, n_req)
         walltime = min(
@@ -125,7 +129,25 @@ class PilotController:
             submitted=True, pilot_nodes=nodes, pilot_walltime_s=walltime,
         )
         self.decisions.append(decision)
+        self._observe_decision(decision)
         return decision
+
+    def _observe_decision(self, decision: ControllerDecision) -> None:
+        """Record one controller evaluation into the tracer's metrics."""
+        tr = self.tracer
+        if not tr.enabled:
+            return
+        m = tr.metrics
+        m.counter("pilot.decisions", help="Eq (3) evaluations").inc(
+            site=self.site.name, submitted=str(decision.submitted).lower()
+        )
+        m.gauge(
+            "pilot.nodes_available", help="Eq (2) at last evaluation"
+        ).set(decision.n_avail, site=self.site.name)
+        if decision.submitted:
+            m.counter("pilot.nodes_submitted", help="pilot nodes requested").inc(
+                decision.pilot_nodes, site=self.site.name
+            )
 
     def bootstrap(self) -> Pilot:
         """Submit the initial single-node pilot the paper describes."""
@@ -135,6 +157,11 @@ class PilotController:
         )
         pilot = Pilot(self.engine, self.site, nodes=1, walltime_s=walltime).submit()
         self.pilots.append(pilot)
+        tr = self.tracer
+        if tr.enabled:
+            tr.metrics.counter(
+                "pilot.nodes_submitted", help="pilot nodes requested"
+            ).inc(1, site=self.site.name)
         return pilot
 
     def best_pilot_for(self, nodes: int) -> Optional[Pilot]:

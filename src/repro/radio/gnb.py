@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
 from repro.radio.phy import CarrierConfig
 from repro.radio.scheduler import MacScheduler, RoundRobinScheduler, UeDemand
 from repro.radio.sdr import SdrFrontEnd, USRP_B210
@@ -61,8 +62,17 @@ class GNodeB:
     sdr: SdrFrontEnd = USRP_B210
     scheduler: MacScheduler = field(default_factory=RoundRobinScheduler)
     slice_config: Optional[SliceConfig] = None
+    metrics: Optional[MetricsRegistry] = None
     _ues: dict[str, UserEquipment] = field(default_factory=dict)
     _slice_schedulers: dict[str, MacScheduler] = field(default_factory=dict)
+
+    def bind_metrics(self, registry: MetricsRegistry) -> "GNodeB":
+        """Record per-round scheduler metrics for this cell (and its slices)."""
+        self.metrics = registry
+        self.scheduler.bind_metrics(registry, cell=self.name)
+        for slice_name, sched in self._slice_schedulers.items():
+            sched.bind_metrics(registry, cell=f"{self.name}/{slice_name}")
+        return self
 
     def __post_init__(self) -> None:
         if not self.sdr.supports(self.carrier.bandwidth_mhz):
@@ -219,7 +229,14 @@ class GNodeB:
             by_slice.setdefault(ue.slice_name or "default", []).append(ue)
         for slice_name, ues in by_slice.items():
             budget = partition[slice_name]
-            sched = self._slice_schedulers.setdefault(slice_name, RoundRobinScheduler())
+            sched = self._slice_schedulers.get(slice_name)
+            if sched is None:
+                sched = RoundRobinScheduler()
+                if self.metrics is not None:
+                    sched.bind_metrics(
+                        self.metrics, cell=f"{self.name}/{slice_name}"
+                    )
+                self._slice_schedulers[slice_name] = sched
             demands = [
                 UeDemand(ue.ue_id, prbs_wanted=budget, cqi=int(ue.channel.mean_cqi))
                 for ue in ues

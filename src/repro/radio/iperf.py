@@ -11,9 +11,11 @@ plotting notebook consumes (mean/std over samples, in Mbps).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
 from repro.radio.core5g import Core5G
 from repro.radio.gnb import GNodeB
 from repro.radio.ue import UserEquipment
@@ -72,9 +74,12 @@ class IperfClient:
         core: Core5G,
         rng: np.random.Generator,
         n_samples: int = 100,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> IperfResult:
         """Single-UE convenience wrapper over :func:`run_uplink_test`."""
-        results = run_uplink_test(gnb, core, [self.ue], rng, n_samples=n_samples)
+        results = run_uplink_test(
+            gnb, core, [self.ue], rng, n_samples=n_samples, metrics=metrics
+        )
         return results[self.ue.ue_id]
 
 
@@ -84,14 +89,18 @@ def run_uplink_test(
     ues: list[UserEquipment],
     rng: np.random.Generator,
     n_samples: int = 100,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> dict[str, IperfResult]:
     """Run simultaneous saturating uplink tests from ``ues``.
 
     All listed UEs must be attached to ``gnb`` and hold active PDU sessions
     (the bytes are accounted through the core's UPF, as real iperf3 traffic
-    would be).
+    would be). When ``metrics`` is given, each UE's per-second samples are
+    recorded as a ``radio.ue_throughput_mbps`` series (the paper's
+    Figures 4-6 raw data).
     """
-    return _run_test(gnb, core, ues, rng, n_samples, direction="uplink")
+    return _run_test(gnb, core, ues, rng, n_samples, direction="uplink",
+                     metrics=metrics)
 
 
 def run_downlink_test(
@@ -100,10 +109,12 @@ def run_downlink_test(
     ues: list[UserEquipment],
     rng: np.random.Generator,
     n_samples: int = 100,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> dict[str, IperfResult]:
     """Run simultaneous saturating downlink tests toward ``ues``
     (``iperf3 -R``). Bytes are accounted as downlink through the UPF."""
-    return _run_test(gnb, core, ues, rng, n_samples, direction="downlink")
+    return _run_test(gnb, core, ues, rng, n_samples, direction="downlink",
+                     metrics=metrics)
 
 
 def _run_test(
@@ -113,6 +124,7 @@ def _run_test(
     rng: np.random.Generator,
     n_samples: int,
     direction: str,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> dict[str, IperfResult]:
     if not ues:
         raise ValueError("need at least one UE")
@@ -135,5 +147,21 @@ def _run_test(
             core.route_uplink(ue.session, result.total_bytes)
         else:
             core.route_downlink(ue.session, result.total_bytes)
+        if metrics is not None:
+            series = metrics.series(
+                "radio.ue_throughput_mbps",
+                help="per-second iperf-style throughput samples per UE",
+            )
+            for second, bps in enumerate(samples):
+                series.append(
+                    float(second), float(bps) / 1e6,
+                    cell=gnb.name, ue=ue.ue_id, direction=direction,
+                )
+            metrics.gauge(
+                "radio.ue_mean_mbps", help="mean throughput of the last test"
+            ).set(
+                result.mean_mbps,
+                cell=gnb.name, ue=ue.ue_id, direction=direction,
+            )
         results[ue.ue_id] = result
     return results

@@ -19,8 +19,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
+
+from repro.obs.metrics import RATIO_BUCKETS, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -49,9 +52,53 @@ class UeDemand:
 class MacScheduler(ABC):
     """Allocates a PRB budget among demanding UEs each round."""
 
+    #: Unbound by default; the scheduling loop stays observation-free until
+    #: :meth:`bind_metrics` is called (one ``is None`` branch per round).
+    _metrics: Optional[MetricsRegistry] = None
+    _cell: str = ""
+    _round: int = 0
+
     @abstractmethod
     def allocate(self, demands: list[UeDemand], budget: int) -> dict[str, int]:
         """Return ``{ue_id: prbs}``; total never exceeds ``budget``."""
+
+    def bind_metrics(
+        self, registry: MetricsRegistry, cell: str = ""
+    ) -> "MacScheduler":
+        """Start recording per-round PRB utilization into ``registry``."""
+        self._metrics = registry
+        self._cell = cell
+        self._round = 0
+        return self
+
+    def _observe(self, alloc: dict[str, int], budget: int) -> None:
+        """Record one scheduling round (no-op until metrics are bound)."""
+        m = self._metrics
+        if m is None:
+            return
+        granted = sum(alloc.values())
+        self._round += 1
+        m.counter("radio.sched.rounds", help="scheduling rounds run").inc(
+            cell=self._cell
+        )
+        m.counter("radio.sched.prbs_granted", help="PRBs granted").inc(
+            granted, cell=self._cell
+        )
+        if budget > 0:
+            util = granted / budget
+            m.histogram(
+                "radio.prb_utilization",
+                help="fraction of the PRB budget granted per round",
+                buckets=RATIO_BUCKETS,
+            ).observe(util, cell=self._cell)
+            m.series(
+                "radio.prb_utilization_tti",
+                help="per-round (TTI-batch) PRB utilization",
+            ).append(self._round, util, cell=self._cell)
+        for ue_id, prbs in sorted(alloc.items()):
+            m.counter("radio.ue.prbs_granted", help="PRBs granted per UE").inc(
+                prbs, cell=self._cell, ue=ue_id
+            )
 
     @staticmethod
     def _validate(demands: list[UeDemand], budget: int) -> None:
@@ -105,6 +152,7 @@ class RoundRobinScheduler(MacScheduler):
                     granted_any = True
             if not granted_any:
                 break
+        self._observe(alloc, budget)
         return alloc
 
 
@@ -126,6 +174,7 @@ class ProportionalFairScheduler(MacScheduler):
         alloc = {d.ue_id: 0 for d in demands}
         active = [d for d in demands if d.prbs_wanted > 0]
         if not active or budget == 0:
+            self._observe(alloc, budget)
             return alloc
         # PF metric: instantaneous achievable rate / trailing average.
         metrics = np.array(
@@ -155,4 +204,5 @@ class ProportionalFairScheduler(MacScheduler):
             self._avg_rate[d.ue_id] = (
                 (1 - self.ewma_alpha) * prev + self.ewma_alpha * realized
             )
+        self._observe(alloc, budget)
         return alloc

@@ -1,0 +1,195 @@
+"""Unit tests: cause-link and staged critical-path extraction."""
+
+import pytest
+
+from repro.obs.critical_path import (
+    LatencyBudget,
+    Stage,
+    StageError,
+    critical_path,
+    longest_chain,
+    staged_critical_path,
+)
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture()
+def tracer():
+    return Tracer()
+
+
+def chain_of_three(tracer):
+    """a -> b -> c with explicit cause links and a 1 s wait before c."""
+    a = tracer.record("a", 0.0, 1.0)
+    b = tracer.record("b", 1.0, 3.0, cause=a)
+    c = tracer.record("c", 4.0, 5.0, cause=b)
+    return a, b, c
+
+
+class TestCausePath:
+    def test_walks_cause_links_from_latest_terminal(self, tracer):
+        chain_of_three(tracer)
+        tracer.record("unrelated", 0.0, 0.5)
+        budget = critical_path(tracer.finished_spans())
+        assert [leg.stage for leg in budget.legs] == ["a", "b", "c"]
+
+    def test_wait_total_active(self, tracer):
+        chain_of_three(tracer)
+        budget = critical_path(tracer.finished_spans())
+        assert budget.legs[2].wait_before_s == pytest.approx(1.0)
+        assert budget.total_s == pytest.approx(5.0)
+        assert budget.active_s == pytest.approx(4.0)
+
+    def test_explicit_terminal(self, tracer):
+        a, b, _ = chain_of_three(tracer)
+        budget = critical_path(tracer.finished_spans(), terminal=b)
+        assert [leg.stage for leg in budget.legs] == ["a", "b"]
+
+    def test_dangling_cause_stops_walk(self, tracer):
+        ghost = tracer.record("ghost", 0.0, 0.1)
+        end = tracer.record("end", 1.0, 2.0, cause=ghost)
+        tracer.spans.remove(ghost)
+        budget = critical_path(tracer.finished_spans(), terminal=end)
+        assert [leg.stage for leg in budget.legs] == ["end"]
+
+    def test_empty_input(self):
+        budget = critical_path([])
+        assert budget.legs == []
+        assert budget.total_s == 0.0
+        assert budget.rows()[-1] == "(no legs)"
+
+
+class TestLongestChain:
+    def test_picks_heaviest_chain_not_latest(self, tracer):
+        # Heavy chain ends at t=4; a light span ends later at t=10.
+        a = tracer.record("heavy.a", 0.0, 3.0)
+        tracer.record("heavy.b", 3.0, 4.0, cause=a)
+        tracer.record("light", 9.9, 10.0)
+        budget = longest_chain(tracer.finished_spans())
+        assert [leg.stage for leg in budget.legs] == ["heavy.a", "heavy.b"]
+        assert budget.active_s == pytest.approx(4.0)
+
+    def test_empty_input(self):
+        assert longest_chain([]).legs == []
+
+
+class TestStagedPath:
+    def test_reconstructs_declared_order(self, tracer):
+        tracer.record("tx", 0.0, 0.0)
+        tracer.record("append", 0.0, 0.1)
+        tracer.record("solve", 0.5, 2.5)
+        budget = staged_critical_path(
+            tracer.finished_spans(),
+            [Stage("tx"), Stage("append"), Stage("solve", required=True)],
+        )
+        assert [leg.span_name for leg in budget.legs] == [
+            "tx", "append", "solve",
+        ]
+        assert budget.legs[2].wait_before_s == pytest.approx(0.4)
+
+    def test_each_stage_picks_latest_span_before_downstream(self, tracer):
+        # Two rounds of appends; only the one completing before the solve
+        # started may chain, and of those the latest wins.
+        tracer.record("append", 0.0, 0.1)
+        tracer.record("append", 1.0, 1.1)
+        tracer.record("append", 5.0, 5.1)  # after the solve started
+        tracer.record("solve", 2.0, 4.0)
+        budget = staged_critical_path(
+            tracer.finished_spans(), [Stage("append"), Stage("solve")]
+        )
+        assert budget.legs[0].start_sim == 1.0
+
+    def test_zero_duration_span_at_same_instant_chains(self, tracer):
+        tracer.record("tx", 2.0, 2.0)
+        tracer.record("append", 2.0, 2.1)
+        budget = staged_critical_path(
+            tracer.finished_spans(), [Stage("tx"), Stage("append")]
+        )
+        assert [leg.span_name for leg in budget.legs] == ["tx", "append"]
+
+    def test_where_predicate_filters_candidates(self, tracer):
+        tracer.record("append", 0.0, 0.1, attrs={"log": "other"})
+        tracer.record("append", 0.2, 0.3, attrs={"log": "telemetry"})
+        tracer.record("solve", 1.0, 2.0)
+        budget = staged_critical_path(
+            tracer.finished_spans(),
+            [
+                Stage("append", where=lambda s: s.attrs["log"] == "telemetry"),
+                Stage("solve"),
+            ],
+        )
+        assert budget.legs[0].start_sim == 0.2
+
+    def test_optional_stage_skipped_when_missing(self, tracer):
+        tracer.record("solve", 0.0, 1.0)
+        budget = staged_critical_path(
+            tracer.finished_spans(), [Stage("absent"), Stage("solve")]
+        )
+        assert [leg.span_name for leg in budget.legs] == ["solve"]
+
+    def test_required_stage_missing_raises(self, tracer):
+        tracer.record("solve", 0.0, 1.0)
+        with pytest.raises(StageError, match="required stage 'absent'"):
+            staged_critical_path(
+                tracer.finished_spans(),
+                [Stage("absent", required=True), Stage("solve")],
+            )
+
+    def test_terminal_must_match_final_stage(self, tracer):
+        wrong = tracer.record("other", 0.0, 1.0)
+        tracer.record("solve", 0.0, 1.0)
+        with pytest.raises(StageError, match="does not match final stage"):
+            staged_critical_path(
+                tracer.finished_spans(), [Stage("solve")], terminal=wrong
+            )
+
+    def test_no_stages_rejected(self):
+        with pytest.raises(ValueError, match="at least one stage"):
+            staged_critical_path([], [])
+
+    def test_labels_applied(self, tracer):
+        tracer.record("solve", 0.0, 1.0)
+        budget = staged_critical_path(
+            tracer.finished_spans(), [Stage("solve", label="CFD solve")]
+        )
+        assert budget.legs[0].stage == "CFD solve"
+        assert budget.legs[0].span_name == "solve"
+
+
+class TestBudgetRendering:
+    def test_rows_and_lookup(self, tracer):
+        chain_of_three(tracer)
+        budget = critical_path(tracer.finished_spans(), title="demo")
+        rows = budget.rows()
+        assert rows[0] == "== demo =="
+        assert len(rows) == 2 + 3 + 1  # header x2, three legs, total
+        assert rows[-1].startswith("total")
+        assert budget.leg("b").duration_s == pytest.approx(2.0)
+        assert budget.leg("nope") is None
+        assert budget.duration_of("a") == pytest.approx(1.0)
+        assert budget.duration_of("nope") == 0.0
+
+    def test_to_dict_round_trips_legs(self, tracer):
+        chain_of_three(tracer)
+        budget = critical_path(tracer.finished_spans(), title="demo")
+        doc = budget.to_dict()
+        assert doc["title"] == "demo"
+        assert doc["total_s"] == pytest.approx(5.0)
+        assert [leg["stage"] for leg in doc["legs"]] == ["a", "b", "c"]
+        assert doc["legs"][2]["wait_before_s"] == pytest.approx(1.0)
+
+    def test_duration_formatting_spans_units(self, tracer):
+        tracer.record("ms", 0.0, 0.05)
+        b1 = critical_path(tracer.finished_spans())
+        assert "50.0 ms" in b1.rows()[2]
+        tracer.clear()
+        tracer.record("s", 0.0, 2.0)
+        assert "2.00 s" in critical_path(tracer.finished_spans()).rows()[2]
+        tracer.clear()
+        tracer.record("min", 0.0, 420.0)
+        assert "7.0 min" in critical_path(tracer.finished_spans()).rows()[2]
+
+    def test_empty_budget_is_a_valid_object(self):
+        budget = LatencyBudget(title="empty")
+        assert budget.active_s == 0.0
+        assert budget.to_dict()["legs"] == []

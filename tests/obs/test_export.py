@@ -1,0 +1,115 @@
+"""Unit tests: JSONL, Chrome trace-event, and metrics export."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    export_run,
+    metrics_to_json,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+)
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture()
+def tracer():
+    tr = Tracer()
+    a = tr.record("append", 0.0, 0.1, category="cspot",
+                  attrs={"log": "telemetry.a", "bytes": 128})
+    tr.record("solve", 0.5, 2.5, category="cfd", cause=a)
+    tr.span("open-excluded")
+    return tr
+
+
+class TestJsonl:
+    def test_one_record_per_finished_span(self, tracer):
+        text = spans_to_jsonl(tracer.spans)
+        records = [json.loads(line) for line in text.splitlines()]
+        assert [r["name"] for r in records] == ["append", "solve"]
+        assert records[0]["attrs"] == {"bytes": 128, "log": "telemetry.a"}
+        assert records[1]["cause_id"] == records[0]["id"]
+        assert "start_wall_s" in records[0]
+
+    def test_include_wall_false_drops_wall_stamps(self, tracer):
+        records = [
+            json.loads(line)
+            for line in spans_to_jsonl(tracer.spans, include_wall=False).splitlines()
+        ]
+        for r in records:
+            assert "start_wall_s" not in r and "end_wall_s" not in r
+
+    def test_non_primitive_attrs_coerced_to_repr(self):
+        tr = Tracer()
+        tr.record("x", 0.0, 1.0, attrs={"obj": (1, 2)})
+        record = json.loads(spans_to_jsonl(tr.spans))
+        assert record["attrs"]["obj"] == "(1, 2)"
+
+    def test_empty_input_is_empty_text(self):
+        assert spans_to_jsonl([]) == ""
+
+    def test_writes_file(self, tracer, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        text = spans_to_jsonl(tracer.spans, str(path))
+        assert path.read_text(encoding="utf-8") == text
+
+
+class TestChromeTrace:
+    def test_document_shape(self, tracer):
+        doc = json.loads(spans_to_chrome_trace(tracer.spans))
+        assert doc["otherData"]["clock"] == "sim"
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        # One named track per category, in sorted category order.
+        assert [m["args"]["name"] for m in meta] == ["cfd", "cspot"]
+        assert len(slices) == 2
+
+    def test_sim_clock_maps_to_microseconds(self, tracer):
+        doc = json.loads(spans_to_chrome_trace(tracer.spans))
+        solve = next(
+            e for e in doc["traceEvents"] if e.get("name") == "solve"
+        )
+        assert solve["ts"] == pytest.approx(0.5e6)
+        assert solve["dur"] == pytest.approx(2.0e6)
+        assert solve["args"]["cause_id"] == 1
+
+    def test_wall_clock_rebased_to_zero_origin(self, tracer):
+        doc = json.loads(spans_to_chrome_trace(tracer.spans, clock="wall"))
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert min(e["ts"] for e in slices) == 0.0
+
+    def test_invalid_clock_rejected(self, tracer):
+        with pytest.raises(ValueError, match="clock must be"):
+            spans_to_chrome_trace(tracer.spans, clock="cpu")
+
+    def test_uncategorized_spans_get_a_track(self):
+        tr = Tracer()
+        tr.record("bare", 0.0, 1.0)
+        doc = json.loads(spans_to_chrome_trace(tr.spans))
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta[0]["args"]["name"] == "uncategorized"
+
+
+class TestMetricsExport:
+    def test_snapshot_is_sorted_json(self, tracer):
+        tracer.metrics.counter("z").inc()
+        tracer.metrics.counter("a").inc(2)
+        doc = json.loads(metrics_to_json(tracer.metrics))
+        assert list(doc) == ["a", "z"]
+        assert doc["a"]["data"][0]["value"] == 2.0
+
+
+class TestExportRun:
+    def test_writes_all_three_artifacts(self, tracer, tmp_path):
+        paths = export_run(tracer, str(tmp_path), prefix="t")
+        assert sorted(paths) == ["metrics", "spans", "trace"]
+        spans = [
+            json.loads(line)
+            for line in open(paths["spans"], encoding="utf-8")
+        ]
+        assert len(spans) == 2
+        trace = json.load(open(paths["trace"], encoding="utf-8"))
+        assert trace["otherData"]["producer"] == "repro.obs"
+        json.load(open(paths["metrics"], encoding="utf-8"))

@@ -1,0 +1,186 @@
+"""Unit tests: counters, gauges, histograms, series, and the registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    RATIO_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    _label_key,
+)
+
+
+class TestLabelKey:
+    def test_empty_labels_normalize_to_empty_tuple(self):
+        assert _label_key({}) == ()
+
+    def test_keys_sorted_and_values_stringified(self):
+        assert _label_key({"b": 2, "a": "x"}) == (("a", "x"), ("b", "2"))
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == 3.5
+
+    def test_labels_partition_counts(self):
+        c = Counter("hits")
+        c.inc(ue="a")
+        c.inc(3, ue="b")
+        assert c.value(ue="a") == 1.0
+        assert c.value(ue="b") == 3.0
+        assert c.value(ue="missing") == 0.0
+        assert c.total() == 4.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Counter("hits").inc(-1)
+
+    def test_collect_sorted_by_label_set(self):
+        c = Counter("hits")
+        c.inc(ue="b")
+        c.inc(ue="a")
+        assert [d["labels"] for d in c.collect()] == [{"ue": "a"}, {"ue": "b"}]
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("depth")
+        g.set(5.0)
+        g.inc(2.0)
+        g.dec()
+        assert g.value() == 6.0
+
+    def test_labeled_values_independent(self):
+        g = Gauge("depth")
+        g.set(1.0, site="nd")
+        g.set(2.0, site="ucsb")
+        assert g.value(site="nd") == 1.0
+        assert g.value(site="ucsb") == 2.0
+
+
+class TestHistogram:
+    def test_observe_count_sum_mean(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0):
+            h.observe(v)
+        assert h.count() == 3
+        assert h.sum() == pytest.approx(5.0)
+        assert h.mean() == pytest.approx(5.0 / 3)
+
+    def test_values_above_last_bound_hit_overflow(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(99.0)
+        collected = h.collect()[0]
+        assert collected["buckets"][-1] == {"le": "inf", "count": 1}
+        assert collected["max"] == 99.0
+
+    def test_quantile_returns_bucket_upper_bound(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 0.6, 1.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 4.0
+        assert h.quantile(0.0, ue="none") == 0.0
+
+    def test_quantile_overflow_reports_observed_max(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(7.0)
+        assert h.quantile(1.0) == 7.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").quantile(1.5)
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram("lat", buckets=())
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("lat", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("lat", buckets=(1.0, 1.0))
+
+    def test_default_bucket_sets_are_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        assert list(RATIO_BUCKETS) == sorted(RATIO_BUCKETS)
+
+    def test_labeled_distributions_independent(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(0.5, log="a")
+        h.observe(0.7, log="b")
+        assert h.count(log="a") == 1
+        assert h.count(log="b") == 1
+        assert h.count() == 0
+
+
+class TestSeries:
+    def test_append_and_points(self):
+        s = Series("tput")
+        s.append(0.0, 10.0, ue="a")
+        s.append(1.0, 12.0, ue="a")
+        assert s.points(ue="a") == [(0.0, 10.0), (1.0, 12.0)]
+        assert s.points(ue="b") == []
+
+    def test_maxlen_drops_oldest(self):
+        s = Series("tput", maxlen=2)
+        for i in range(4):
+            s.append(float(i), float(i))
+        assert s.points() == [(2.0, 2.0), (3.0, 3.0)]
+
+    def test_maxlen_validated(self):
+        with pytest.raises(ValueError):
+            Series("tput", maxlen=0)
+
+
+class TestRegistry:
+    def test_create_or_get_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") is reg.counter("c")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError, match="already registered as counter"):
+            reg.gauge("m")
+
+    def test_histogram_bucket_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different buckets"):
+            reg.histogram("h", buckets=(1.0, 3.0))
+
+    def test_names_get_contains(self):
+        reg = MetricsRegistry()
+        reg.gauge("b")
+        reg.counter("a")
+        assert reg.names() == ["a", "b"]
+        assert "a" in reg and "z" not in reg
+        assert isinstance(reg.get("b"), Gauge)
+
+    def test_collect_snapshot_is_deterministic_json(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("c", help="x").inc(ue="b")
+            reg.counter("c").inc(2, ue="a")
+            reg.histogram("h", buckets=(1.0,)).observe(0.5)
+            reg.series("s").append(0.0, 1.0)
+            return json.dumps(reg.collect(), sort_keys=True)
+
+        assert build() == build()
+
+    def test_collect_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", help="the help").inc()
+        snap = reg.collect()
+        assert snap["c"]["kind"] == "counter"
+        assert snap["c"]["help"] == "the help"
+        assert snap["c"]["data"] == [{"labels": {}, "value": 1.0}]

@@ -1,0 +1,201 @@
+"""Unit tests: spans, tracer lifecycle, and the disabled no-op mode."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    Tracer,
+    mean_duration_sim,
+)
+from repro.simkernel import Engine
+
+
+@pytest.fixture()
+def traced_engine():
+    eng = Engine()
+    return eng, Tracer().attach(eng)
+
+
+class TestSpanLifecycle:
+    def test_open_span_has_no_end(self, traced_engine):
+        eng, tr = traced_engine
+        span = tr.span("op")
+        assert not span.finished
+        assert span.end_sim is None
+        assert span.duration_sim == 0.0
+
+    def test_end_stamps_current_sim_time(self, traced_engine):
+        eng, tr = traced_engine
+        span = tr.span("op")
+        eng.run(until=eng.timeout(2.5))
+        span.end()
+        assert span.finished
+        assert span.start_sim == 0.0
+        assert span.end_sim == 2.5
+        assert span.duration_sim == 2.5
+        assert span.duration_wall >= 0.0
+
+    def test_end_is_idempotent(self, traced_engine):
+        eng, tr = traced_engine
+        span = tr.span("op")
+        eng.run(until=eng.timeout(1.0))
+        span.end()
+        first = span.end_sim
+        eng.run(until=eng.timeout(1.0))
+        span.end()
+        assert span.end_sim == first
+
+    def test_annotate_merges_and_chains(self, traced_engine):
+        _, tr = traced_engine
+        span = tr.span("op", attrs={"a": 1})
+        assert span.annotate(b=2).annotate(a=3) is span
+        assert span.attrs == {"a": 3, "b": 2}
+
+    def test_context_manager_ends_span(self, traced_engine):
+        eng, tr = traced_engine
+        with tr.span("op") as span:
+            eng.run(until=eng.timeout(4.0))
+        assert span.finished
+        assert span.duration_sim == 4.0
+        assert "error" not in span.attrs
+
+    def test_context_manager_records_error_and_reraises(self, traced_engine):
+        _, tr = traced_engine
+        with pytest.raises(RuntimeError):
+            with tr.span("op") as span:
+                raise RuntimeError("boom")
+        assert span.finished
+        assert span.attrs["error"] == "RuntimeError"
+
+    def test_parent_and_cause_links(self, traced_engine):
+        _, tr = traced_engine
+        root = tr.span("root")
+        child = tr.span("child", parent=root)
+        effect = tr.span("effect", cause=child)
+        assert child.parent_id == root.span_id
+        assert effect.cause_id == child.span_id
+        assert root.parent_id is None and root.cause_id is None
+
+    def test_ids_are_sequential_from_one(self, traced_engine):
+        _, tr = traced_engine
+        ids = [tr.span(f"s{i}").span_id for i in range(3)]
+        assert ids == [1, 2, 3]
+
+
+class TestRecord:
+    def test_record_retroactive_interval(self, traced_engine):
+        eng, tr = traced_engine
+        eng.run(until=eng.timeout(10.0))
+        span = tr.record("queue.wait", 3.0, 7.5, category="pilot")
+        assert span.start_sim == 3.0
+        assert span.end_sim == 7.5
+        assert span.duration_sim == 4.5
+        assert span.duration_wall == 0.0  # purely simulated interval
+
+    def test_record_rejects_backwards_interval(self, traced_engine):
+        _, tr = traced_engine
+        with pytest.raises(ValueError, match="before start_sim"):
+            tr.record("bad", 5.0, 4.0)
+
+
+class TestQueries:
+    def test_finished_spans_sorted_by_start_then_id(self, traced_engine):
+        eng, tr = traced_engine
+        late = tr.record("late", 5.0, 6.0)
+        early = tr.record("early", 1.0, 2.0)
+        open_span = tr.span("open")  # never ended: excluded
+        assert [s.name for s in tr.finished_spans()] == ["early", "late"]
+        assert open_span not in tr.finished_spans()
+        assert tr.find(late.span_id) is late
+        assert tr.find(9999) is None
+        assert tr.spans_named("early") == [early]
+
+    def test_spans_in_category(self, traced_engine):
+        _, tr = traced_engine
+        tr.record("a", 0.0, 1.0, category="cspot")
+        tr.record("b", 0.0, 1.0, category="cfd")
+        assert [s.name for s in tr.spans_in("cspot")] == ["a"]
+
+    def test_clear_drops_spans_keeps_metrics(self, traced_engine):
+        _, tr = traced_engine
+        tr.record("a", 0.0, 1.0)
+        tr.metrics.counter("kept").inc()
+        tr.clear()
+        assert tr.finished_spans() == []
+        assert tr.metrics.counter("kept").value() == 1.0
+
+
+class TestEngineAttachment:
+    def test_attach_counts_engine_events(self, traced_engine):
+        eng, tr = traced_engine
+        eng.timeout(1.0)
+        eng.timeout(2.0)
+        eng.run()
+        assert tr.events_observed == 2
+        assert tr.metrics.counter("sim.events").value() == 2.0
+
+    def test_now_sim_without_engine_is_zero(self):
+        assert Tracer().now_sim() == 0.0
+
+    def test_disabled_attach_registers_no_hook(self):
+        eng = Engine()
+        Tracer(enabled=False).attach(eng)
+        eng.timeout(1.0)
+        eng.run()
+        assert eng._trace_hooks == []
+
+    def test_shared_metrics_registry(self):
+        reg = MetricsRegistry()
+        tr = Tracer(metrics=reg)
+        assert tr.metrics is reg
+
+
+class TestDisabledMode:
+    def test_span_returns_shared_null_span(self):
+        tr = Tracer(enabled=False)
+        a = tr.span("x", category="c", attrs={"k": 1})
+        b = tr.record("y", 0.0, 1.0)
+        assert a is NULL_SPAN and b is NULL_SPAN
+        assert tr.spans == []
+
+    def test_null_span_is_inert(self):
+        assert NULL_SPAN.annotate(a=1).end() is NULL_SPAN
+        assert NULL_SPAN.attrs == {}
+        assert NULL_SPAN.finished
+        assert NULL_SPAN.duration_sim == 0.0
+        with NULL_SPAN as s:
+            assert s is NULL_SPAN
+
+    def test_null_span_context_does_not_swallow(self):
+        with pytest.raises(KeyError):
+            with NULL_SPAN:
+                raise KeyError("x")
+
+    def test_null_tracer_is_disabled_singleton(self):
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.span("x") is NULL_SPAN
+
+    def test_null_tracer_engine_never_bound_by_components(self):
+        # Components must not attach the shared NULL_TRACER to their
+        # engine -- that would leak one run's engine into every other.
+        assert NULL_TRACER._engine is None
+
+
+class TestHelpers:
+    def test_mean_duration_sim(self, traced_engine):
+        _, tr = traced_engine
+        tr.record("a", 0.0, 1.0)
+        tr.record("a", 0.0, 3.0)
+        tr.span("open-ignored")
+        assert mean_duration_sim(tr.spans) == pytest.approx(2.0)
+        assert mean_duration_sim([]) == 0.0
+
+    def test_span_slots_reject_stray_attributes(self, traced_engine):
+        _, tr = traced_engine
+        span = tr.span("op")
+        assert isinstance(span, Span)
+        with pytest.raises(AttributeError):
+            span.stray = 1

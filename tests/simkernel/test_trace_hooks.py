@@ -1,0 +1,80 @@
+"""Trace-hook contract: the seam `repro.obs` attaches through.
+
+The observability layer relies on three engine guarantees:
+hooks see every processed event with the advanced clock, multiple hooks
+fire in registration order *before* the event's callbacks, and a raising
+hook aborts the step before any callback runs.
+"""
+
+import pytest
+
+from repro.simkernel import Engine
+
+
+def test_hook_receives_time_and_event():
+    eng = Engine()
+    seen = []
+    eng.add_trace_hook(lambda t, ev: seen.append((t, ev)))
+    timeout = eng.timeout(2.0, value="x")
+    eng.run()
+    assert len(seen) == 1
+    t, ev = seen[0]
+    assert t == 2.0
+    assert ev is timeout
+
+
+def test_hook_sees_clock_already_advanced():
+    eng = Engine()
+    observed = []
+    eng.add_trace_hook(lambda t, ev: observed.append(eng.now == t))
+    eng.timeout(1.0)
+    eng.timeout(5.0)
+    eng.run()
+    assert observed == [True, True]
+
+
+def test_hooks_fire_before_callbacks():
+    eng = Engine()
+    order = []
+    eng.add_trace_hook(lambda t, ev: order.append("hook"))
+    eng.timeout(1.0).add_callback(lambda ev: order.append("callback"))
+    eng.run()
+    assert order == ["hook", "callback"]
+
+
+def test_multiple_hooks_fire_in_registration_order():
+    eng = Engine()
+    order = []
+    eng.add_trace_hook(lambda t, ev: order.append("first"))
+    eng.add_trace_hook(lambda t, ev: order.append("second"))
+    eng.timeout(1.0)
+    eng.run()
+    assert order == ["first", "second"]
+
+
+def test_hook_fires_once_per_event():
+    eng = Engine()
+    count = [0]
+
+    def bump(t, ev):
+        count[0] += 1
+
+    eng.add_trace_hook(bump)
+    for delay in (1.0, 2.0, 3.0):
+        eng.timeout(delay)
+    eng.run()
+    assert count[0] == 3
+
+
+def test_raising_hook_propagates_and_blocks_callbacks():
+    eng = Engine()
+    ran = []
+
+    def bad_hook(t, ev):
+        raise RuntimeError("hook exploded")
+
+    eng.add_trace_hook(bad_hook)
+    eng.timeout(1.0).add_callback(lambda ev: ran.append(True))
+    with pytest.raises(RuntimeError, match="hook exploded"):
+        eng.run()
+    assert ran == []
