@@ -21,6 +21,7 @@ snapshots.
 import os
 
 import numpy as np
+import pytest
 
 from repro.analysis import ComparisonTable
 from repro.cfd.postprocess import slice_raster, write_vtk_ascii
@@ -128,3 +129,12 @@ def test_fig3_end_to_end_pipeline(benchmark):
     for line in report.rows():
         print(line)
     assert report.meets_real_time_requirement
+
+
+@pytest.mark.smoke
+def test_fig3_smoke_tiny_pipeline():
+    """Smoke lane: the assembled fabric runs a short slice end to end."""
+    fabric = XGFabric(FabricConfig(seed=3), tracer=Tracer())
+    metrics = fabric.run(2 * 3600.0)
+    assert metrics.telemetry_sent > 0
+    assert fabric.tracer.finished_spans()

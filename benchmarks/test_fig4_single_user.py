@@ -15,6 +15,7 @@ report the mean throughput. Shape assertions encode the paper's findings:
 import os
 
 import numpy as np
+import pytest
 
 from repro.analysis import ComparisonTable, write_series_csv
 from repro.radio import NetworkDeployment
@@ -100,3 +101,13 @@ def test_fig4_single_user_uplink(benchmark):
         if fig == "fig4":
             anchored.add("x", results[(network, device, bw)], paper=paper)
     assert anchored.max_abs_log_ratio() < 0.25
+
+
+@pytest.mark.smoke
+def test_fig4_smoke_single_point():
+    """Smoke lane: one (network, device, bandwidth) point, 5 samples."""
+    rng = np.random.default_rng(0)
+    net = NetworkDeployment.build("5g-tdd", 40)
+    ue = net.add_ue("raspberry-pi")
+    res = net.measure_uplink([ue], rng, n_samples=5)
+    assert res[ue.ue_id].mean_mbps > 0

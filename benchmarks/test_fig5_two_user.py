@@ -15,6 +15,7 @@ at each bandwidth. Shape assertions encode the paper's findings:
 """
 
 import numpy as np
+import pytest
 
 from repro.analysis import ComparisonTable
 from repro.radio import NetworkDeployment
@@ -103,3 +104,17 @@ def test_fig5_two_user_uplink(benchmark):
     # paper's RPi 5G FDD pair peaks at 45.4 vs 52.4 single-user.
     rpi_pair = agg("5g-fdd", "raspberry-pi", 20)
     assert 0.75 * 52.36 < rpi_pair < 1.15 * 52.36
+
+
+@pytest.mark.smoke
+def test_fig5_smoke_two_user_point():
+    """Smoke lane: one two-user point; the pair shares, never exceeds."""
+    rng = np.random.default_rng(0)
+    net = NetworkDeployment.build("5g-tdd", 40)
+    u1, u2 = net.add_ue("raspberry-pi"), net.add_ue("raspberry-pi")
+    pair = net.measure_uplink([u1, u2], rng, n_samples=5)
+    single = NetworkDeployment.build("5g-tdd", 40)
+    su = single.add_ue("raspberry-pi")
+    solo = single.measure_uplink([su], rng, n_samples=5)
+    assert pair[u1.ue_id].mean_mbps > 0 and pair[u2.ue_id].mean_mbps > 0
+    assert pair[u1.ue_id].mean_mbps < 1.2 * solo[su.ue_id].mean_mbps

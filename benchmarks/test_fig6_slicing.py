@@ -16,6 +16,7 @@ assertions encode the paper's findings:
 import os
 
 import numpy as np
+import pytest
 
 from repro.analysis import ComparisonTable, write_series_csv
 from repro.radio import NetworkDeployment, SliceConfig
@@ -127,3 +128,21 @@ def test_fig6_slicing(benchmark):
         check.add("rpi1", results[pct][0][0], paper=p1)
         check.add("rpi2", results[pct][1][0] if pct == 50 else results[100 - pct][1][0], paper=p2)
     assert check.max_abs_log_ratio() < 0.3
+
+
+@pytest.mark.smoke
+def test_fig6_smoke_midpoint_slice():
+    """Smoke lane: the 50/50 slice profile only, 5 samples per device."""
+    rng = np.random.default_rng(0)
+    cfg = SliceConfig.complementary_pair(0.5, "slice-rpi1", "slice-rpi2")
+    net = NetworkDeployment.build("5g-tdd", BANDWIDTH_MHZ, slice_config=cfg)
+    r1 = net.add_ue(
+        "raspberry-pi", ue_id="rpi1", channel=RPI1_CHANNEL,
+        unit_cap_bps=RPI1_UNIT_CAP_BPS, slice_name="slice-rpi1",
+    )
+    r2 = net.add_ue(
+        "raspberry-pi", ue_id="rpi2", channel=RPI2_CHANNEL,
+        unit_cap_bps=RPI2_UNIT_CAP_BPS, slice_name="slice-rpi2",
+    )
+    res = net.measure_uplink([r1, r2], rng, n_samples=5)
+    assert res["rpi1"].mean_mbps > 0 and res["rpi2"].mean_mbps > 0

@@ -18,6 +18,7 @@ Two layers regenerate this:
 import os
 
 import numpy as np
+import pytest
 
 from repro.analysis import ComparisonTable, summarize, write_series_csv
 from repro.cfd import (
@@ -131,3 +132,13 @@ def test_fig7_model_consistent_with_artifact_appendix(benchmark):
     hours = run_once(benchmark, total_campaign_hours)
     # Paper: ~13 h; allow a factor-of-two band around it.
     assert 6.0 < hours < 30.0
+
+
+@pytest.mark.smoke
+def test_fig7_smoke_model_endpoints():
+    """Smoke lane: two core counts, two runs each; more cores is faster."""
+    model = CfdPerformanceModel()
+    rng = np.random.default_rng(0)
+    slow = summarize(model.sample_total_time(1, rng, n=2))
+    fast = summarize(model.sample_total_time(64, rng, n=2))
+    assert fast.mean < slow.mean

@@ -1,0 +1,83 @@
+"""Cross-layer fault injection and resilience measurement.
+
+The paper's delay-tolerance claim (sections 3.1 and 4.2) is qualitative:
+CSPOT's persistent logs plus retried appends survive "frequent network
+interruption". This package makes it a measured, regression-gated
+property. It provides:
+
+- :mod:`~repro.chaos.policies` -- explicit retry/timeout/backoff policies
+  the fabric threads through every layer that retries.
+- :mod:`~repro.chaos.faults` -- schedulable injectors for every layer:
+  radio fades and UE power loss, 5G core session drops, CSPOT partitions /
+  ack loss / node power loss, HPC node failures / preemption / queue
+  storms.
+- :mod:`~repro.chaos.campaign` -- the seeded campaign runner; a disabled
+  campaign arms nothing and leaves the run bit-identical.
+- :mod:`~repro.chaos.report` -- :class:`ResilienceReport` with per-fault
+  recovery times, duplicate/lost record counts, and the exactly-once
+  verdict, all derived from the simulated logs.
+"""
+
+from repro.chaos.campaign import (
+    ChaosCampaign,
+    randomized_campaign,
+    run_campaign,
+    standard_campaign,
+)
+from repro.chaos.faults import (
+    CspotAckLossInjector,
+    CspotPartitionInjector,
+    FaultInjection,
+    HpcNodeFailureInjector,
+    NodePowerLossInjector,
+    PduSessionDropInjector,
+    PilotPreemptionInjector,
+    QueueStormInjector,
+    RadioFadeInjector,
+    UePowerLossInjector,
+)
+from repro.chaos.policies import (
+    DEFAULT_APPEND_POLICY,
+    DEFAULT_FETCH_POLICY,
+    DEFAULT_PILOT_POLICY,
+    RESILIENT_POLICIES,
+    FabricPolicies,
+    RetryPolicy,
+)
+from repro.chaos.report import (
+    DeliveryAudit,
+    FaultOutcome,
+    ResilienceReport,
+    audit_delivery,
+    build_report,
+    masked_downtime_s,
+)
+
+__all__ = [
+    "ChaosCampaign",
+    "CspotAckLossInjector",
+    "CspotPartitionInjector",
+    "DEFAULT_APPEND_POLICY",
+    "DEFAULT_FETCH_POLICY",
+    "DEFAULT_PILOT_POLICY",
+    "DeliveryAudit",
+    "FabricPolicies",
+    "FaultInjection",
+    "FaultOutcome",
+    "HpcNodeFailureInjector",
+    "NodePowerLossInjector",
+    "PduSessionDropInjector",
+    "PilotPreemptionInjector",
+    "QueueStormInjector",
+    "RESILIENT_POLICIES",
+    "RadioFadeInjector",
+    "ResilienceReport",
+    "RetryPolicy",
+    "UePowerLossInjector",
+    "audit_delivery",
+    "build_report",
+    "masked_downtime_s",
+    "randomized_campaign",
+    "run_campaign",
+    "standard_campaign",
+]

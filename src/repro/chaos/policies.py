@@ -1,0 +1,137 @@
+"""Retry / timeout / backoff policies for degraded-mode operation.
+
+The paper's delay-tolerance discipline is "a 'failure to append' ... is
+simply retried until it succeeds" (section 4.2). This module makes that
+discipline an explicit, tunable object instead of constants scattered
+through the stack: every layer that retries (CSPOT reliable appends, the
+ND alert fetch, pilot acquisition for CFD triggers) is parameterized by a
+:class:`RetryPolicy`, and :class:`FabricPolicies` bundles the per-layer
+policies the fabric threads through its loops.
+
+Policies are pure data + arithmetic -- no engine, no randomness -- so the
+same policy object can drive simulated retries and be printed into a
+:class:`~repro.chaos.report.ResilienceReport` verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff over a bounded number of attempts.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries (first attempt included). ``1`` means no retry.
+    backoff_s:
+        Base delay before the second attempt; ``0`` retries immediately.
+    backoff_factor:
+        Multiplier applied per subsequent attempt (``2`` = doubling).
+    max_backoff_s:
+        Ceiling on any single delay -- long partitions are waited out at
+        this cadence rather than hammered or abandoned.
+    """
+
+    max_attempts: int = 100
+    backoff_s: float = 0.5
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.backoff_s < 0:
+            raise ValueError(f"negative backoff: {self.backoff_s}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1: {self.backoff_factor}"
+            )
+        if self.max_backoff_s < self.backoff_s:
+            raise ValueError("max_backoff_s must be >= backoff_s")
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before retrying after failed attempt ``attempt`` (0-based).
+
+        The exponent is clamped so huge attempt numbers cannot overflow;
+        the result is capped at ``max_backoff_s``.
+        """
+        if attempt < 0:
+            raise ValueError(f"negative attempt index: {attempt}")
+        if self.backoff_s == 0.0:
+            return 0.0
+        return min(
+            self.backoff_s * (self.backoff_factor ** min(attempt, 12)),
+            self.max_backoff_s,
+        )
+
+    def total_budget_s(self) -> float:
+        """Sum of all backoff delays if every attempt fails (the worst-case
+        time a caller spends waiting between attempts)."""
+        return sum(self.delay_s(a) for a in range(self.max_attempts - 1))
+
+
+#: The transport's historical constants (RemoteAppendClient defaults) --
+#: the fabric's append behaviour is bit-identical under this policy.
+DEFAULT_APPEND_POLICY = RetryPolicy(
+    max_attempts=100, backoff_s=0.5, backoff_factor=2.0, max_backoff_s=60.0
+)
+
+#: Alert fetches run on a 30-minute duty cycle; a failed fetch retries on
+#: a short backoff and, if the partition outlasts the budget, gives up and
+#: lets the *next* duty cycle pick up the parked alerts (CSPOT logs hold
+#: them -- delay, not loss).
+DEFAULT_FETCH_POLICY = RetryPolicy(
+    max_attempts=8, backoff_s=5.0, backoff_factor=2.0, max_backoff_s=120.0
+)
+
+#: Pilot acquisition for one CFD trigger: a pilot can expire or die
+#: between selection and execution; each attempt acquires a fresh pilot.
+DEFAULT_PILOT_POLICY = RetryPolicy(
+    max_attempts=3, backoff_s=0.0, backoff_factor=1.0, max_backoff_s=0.0
+)
+
+
+@dataclass(frozen=True)
+class FabricPolicies:
+    """The per-layer retry policies the fabric threads through its loops.
+
+    Defaults reproduce the pre-chaos constants exactly, so a fabric built
+    with ``FabricPolicies()`` is bit-identical to one built before this
+    module existed (the no-drift guarantee the chaos determinism tests
+    pin down).
+
+    Attributes
+    ----------
+    append:
+        Telemetry / summary / operator-inbox reliable appends.
+    fetch:
+        The ND alert-log fetch (section 3.1's "data parked in logs ...
+        fetched once the nodes become active").
+    pilot:
+        Pilot acquisition attempts per CFD trigger.
+    pilot_watchdog_s:
+        When positive, the fabric runs a watchdog that re-bootstraps a
+        pilot whenever none is submitted or active (recovery from HPC
+        node failures killing every pilot). ``0`` disables the watchdog
+        (the pre-chaos behaviour: pilots are only submitted on data).
+    """
+
+    append: RetryPolicy = field(default_factory=lambda: DEFAULT_APPEND_POLICY)
+    fetch: RetryPolicy = field(default_factory=lambda: DEFAULT_FETCH_POLICY)
+    pilot: RetryPolicy = field(default_factory=lambda: DEFAULT_PILOT_POLICY)
+    pilot_watchdog_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.pilot_watchdog_s < 0:
+            raise ValueError(
+                f"negative watchdog interval: {self.pilot_watchdog_s}"
+            )
+
+
+#: Policies for chaos campaigns: same retry discipline, plus the pilot
+#: watchdog so HPC faults that kill every pilot are repaired without
+#: waiting for the next data-driven submission.
+RESILIENT_POLICIES = FabricPolicies(pilot_watchdog_s=600.0)

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.cfd.mesh import StructuredMesh
 from repro.cfd.solver import SolverConfig
+from repro.chaos.policies import FabricPolicies
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,11 @@ class FabricConfig:
     # Radio (byte accounting through the production 5G network).
     include_radio: bool = True
     radio_bandwidth_mhz: float = 40.0
+    #: Retry/timeout/backoff policies per layer (see
+    #: :mod:`repro.chaos.policies`). The defaults reproduce the pre-policy
+    #: constants exactly; chaos campaigns typically pass
+    #: ``RESILIENT_POLICIES`` to add the pilot watchdog.
+    policies: FabricPolicies = field(default_factory=FabricPolicies)
 
     def __post_init__(self) -> None:
         if self.telemetry_interval_s <= 0 or self.duty_cycle_s <= 0:

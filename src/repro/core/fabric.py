@@ -22,6 +22,7 @@ from repro.cfd.solver import ProjectionSolver
 from repro.core.config import FabricConfig
 from repro.core.digital_twin import DigitalTwin
 from repro.core.telemetry import TELEMETRY_ELEMENT_SIZE, TelemetryRecord
+from repro.cspot.errors import NodeDownError, PartitionedError
 from repro.cspot.node import CSPOTNode
 from repro.cspot.paths import testbed_paths
 from repro.cspot.transport import RemoteAppendClient, Transport
@@ -64,6 +65,9 @@ class FabricMetrics:
     duty_cycles: int = 0
     change_alerts: int = 0
     cfd_runs: list[CfdRunRecord] = field(default_factory=list)
+    #: Triggers abandoned after the pilot retry budget was exhausted
+    #: (degraded mode: the alert stays served by the *next* trigger).
+    cfd_failures: int = 0
     breach_suspicions: int = 0
     robot_reports: list[SurveilReport] = field(default_factory=list)
     #: Latency from CFD completion to the operator's inbox at UNL (s).
@@ -144,16 +148,28 @@ class XGFabric:
         # application of water, pesticides, or to detect failures".
         self.ucsb.create_log("cfd.summary", element_size=256, history_size=1024)
         self.unl.create_log("operator.inbox", element_size=256, history_size=1024)
+        # Reliable appends follow the configured append policy (defaults =
+        # the historical constants, so behaviour is unchanged until a
+        # policy says otherwise).
+        ap = cfg.policies.append
+        append_kwargs = dict(
+            retry_backoff_s=ap.backoff_s,
+            max_retries=ap.max_attempts,
+            max_backoff_s=ap.max_backoff_s,
+            backoff_factor=ap.backoff_factor,
+        )
         self._summary_appender = RemoteAppendClient(
-            self.transport, self.nd, self.ucsb, "cfd.summary"
+            self.transport, self.nd, self.ucsb, "cfd.summary", **append_kwargs
         )
         self._operator_appender = RemoteAppendClient(
-            self.transport, self.ucsb, self.unl, "operator.inbox"
+            self.transport, self.ucsb, self.unl, "operator.inbox",
+            **append_kwargs,
         )
         self._appenders = {
             station.station_id: RemoteAppendClient(
                 self.transport, self.unl, self.ucsb,
                 f"telemetry.{station.station_id}",
+                **append_kwargs,
             )
             for station in self.stations
         }
@@ -258,6 +274,10 @@ class XGFabric:
         self.engine.process(
             self._alert_poll_loop(duration_s), name="nd-alert-poller"
         )
+        if cfg.policies.pilot_watchdog_s > 0:
+            self.engine.process(
+                self._pilot_watchdog(duration_s), name="pilot-watchdog"
+            )
         self.engine.run(until=duration_s)
         root.annotate(
             telemetry_sent=self.metrics.telemetry_sent,
@@ -300,7 +320,7 @@ class XGFabric:
                 self.metrics.telemetry_latencies_s.append(self.engine.now - start)
                 self.metrics.telemetry_sent += 1
                 self.metrics.telemetry_bytes += len(payload)
-                if self._ue is not None and self._ue.session is not None:
+                if self._ue is not None and self._ue.attached:
                     self.radio.core.route_uplink(self._ue.session, len(payload))
             # Twin comparison against the freshest interior measurements.
             self._compare_twin(readings)
@@ -310,6 +330,10 @@ class XGFabric:
         while self.engine.now + cfg.duty_cycle_s <= duration_s:
             yield self.engine.timeout(cfg.duty_cycle_s)
             self.metrics.duty_cycles += 1
+            if not self.ucsb.alive:
+                # The repository is dark (power-loss fault): detection has
+                # nothing to read; the parked telemetry serves next cycle.
+                continue
             series = self._exterior_wind_series()
             if len(series) < cfg.readings_needed:
                 continue
@@ -339,28 +363,66 @@ class XGFabric:
                 )
 
     def _alert_poll_loop(self, duration_s: float) -> Generator:
-        """ND fetches the alert log on the 30-minute duty cycle."""
+        """ND fetches the alert log on the 30-minute duty cycle.
+
+        Fetches retry on the configured fetch policy; if a partition or a
+        dark repository outlasts the whole budget, the *cycle* is given up
+        -- the alerts stay parked in the log and the next poll picks them
+        up. Degraded means late here, never crashed.
+        """
         cfg = self.config
+        policy = cfg.policies.fetch
         # Offset by one telemetry interval so polls trail detections.
         yield self.engine.timeout(cfg.telemetry_interval_s)
         while self.engine.now + cfg.duty_cycle_s <= duration_s:
             yield self.engine.timeout(cfg.duty_cycle_s)
-            entries = yield self.transport.remote_fetch(
-                self.nd, self.ucsb, "alerts", since_seqno=self._last_alert_seqno
-            )
+            entries = None
+            for attempt in range(policy.max_attempts):
+                try:
+                    entries = yield self.transport.remote_fetch(
+                        self.nd, self.ucsb, "alerts",
+                        since_seqno=self._last_alert_seqno,
+                    )
+                    break
+                except (PartitionedError, NodeDownError):
+                    delay = policy.delay_s(attempt)
+                    if delay:
+                        yield self.engine.timeout(delay)
             if not entries:
                 continue
             self._last_alert_seqno = entries[-1].seqno
             if not self._cfd_busy:
                 self.engine.process(self._cfd_trigger(), name="cfd-trigger")
 
+    def _pilot_watchdog(self, duration_s: float) -> Generator:
+        """Re-bootstrap the pilot layer when faults empty it.
+
+        Only runs when ``policies.pilot_watchdog_s`` is positive. Without
+        it an HPC node failure that kills every pilot leaves nothing
+        submitted until the next data-driven decision; with it, capacity
+        is repaired on the watchdog cadence.
+        """
+        interval = self.config.policies.pilot_watchdog_s
+        while self.engine.now + interval <= duration_s:
+            yield self.engine.timeout(interval)
+            self.controller.retire_finished()
+            if self.controller.nodes_available() == 0:
+                self.controller.bootstrap()
+
     def _cfd_trigger(self) -> Generator:
         """Alert -> pilot -> CFD -> twin refresh (the HPC arm of Fig. 3)."""
         cfg = self.config
+        policy = cfg.policies.pilot
         self._cfd_busy = True
         trigger_time = self.engine.now
         try:
-            snapshot = self._latest_snapshot()
+            try:
+                snapshot = self._latest_snapshot()
+            except NodeDownError:
+                # The repository died between the alert fetch and now; a
+                # later alert will trigger afresh once it is back.
+                self.metrics.cfd_failures += 1
+                return
             case = case_from_telemetry(
                 snapshot,
                 mesh=cfg.twin_mesh,
@@ -375,9 +437,10 @@ class XGFabric:
             queue_start = self.engine.now
             site_name = self.site.name
             task = None
-            # A pilot can expire between selection and execution; acquire
-            # a fresh one and retry (the delay-tolerant discipline again).
-            for attempt in range(3):
+            # A pilot can expire or be killed between selection and
+            # execution; acquire a fresh one and retry (the delay-tolerant
+            # discipline again), up to the configured attempt budget.
+            for attempt in range(policy.max_attempts):
                 site_name, pilot, nodes_needed = self._acquire_pilot(case)
                 task = Task(
                     name=f"cfd-{int(trigger_time)}-a{attempt}",
@@ -388,11 +451,21 @@ class XGFabric:
                     yield pilot.run_task(task)
                     break
                 except RuntimeError:
+                    delay = policy.delay_s(attempt)
+                    if delay:
+                        yield self.engine.timeout(delay)
                     continue
             else:
-                raise RuntimeError(
-                    f"CFD trigger at {trigger_time:.0f}s failed on three pilots"
-                )
+                # Budget exhausted (e.g. the cluster lost its nodes
+                # mid-campaign): give the trigger up instead of crashing
+                # the run; later alerts trigger afresh.
+                self.metrics.cfd_failures += 1
+                if self.tracer.enabled:
+                    self.tracer.metrics.counter(
+                        "fabric.cfd_failures",
+                        help="CFD triggers abandoned after pilot retries",
+                    ).inc(site=site_name)
+                return
             queue_wait = (task.start_time or queue_start) - queue_start
             tr = self.tracer
             sim_span = None
@@ -554,7 +627,7 @@ class XGFabric:
                         # uplink as the stations ("robot-based sensing").
                         image_bytes = report.images_taken * 2_000_000
                         self.metrics.robot_upload_bytes += image_bytes
-                        if self._ue is not None and self._ue.session is not None:
+                        if self._ue is not None and self._ue.attached:
                             self.radio.core.route_uplink(
                                 self._ue.session, image_bytes
                             )

@@ -49,6 +49,33 @@ class FaultInjector:
         self._starts.insert(idx, start)
         self._ends.insert(idx, end)
 
+    def add_outage(self, start: float, duration: float) -> None:
+        """Schedule a partition by start time + duration (campaign idiom).
+
+        Unlike :meth:`add_partition`, overlap with existing windows is
+        allowed: only the uncovered gaps of ``[start, start+duration)``
+        are added, so concurrent fault campaigns merge instead of raising.
+        """
+        end = start + duration
+        if end <= start:
+            raise ValueError(f"empty outage window [{start}, {end})")
+        cursor = start
+        for s, e in zip(list(self._starts), list(self._ends)):
+            if e <= cursor:
+                continue
+            if s >= end:
+                break
+            if s > cursor:
+                self.add_partition(cursor, s)
+            cursor = max(cursor, e)
+        if cursor < end:
+            self.add_partition(cursor, end)
+
+    @property
+    def partition_windows(self) -> list[tuple[float, float]]:
+        """The scheduled ``[start, end)`` windows, sorted by start."""
+        return list(zip(self._starts, self._ends))
+
     def partitioned_at(self, t: float) -> bool:
         """Is the path partitioned at simulated time ``t``?"""
         idx = bisect_right(self._starts, t) - 1

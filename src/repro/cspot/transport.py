@@ -360,6 +360,7 @@ class RemoteAppendClient:
         retry_backoff_s: float = 0.5,
         max_retries: int = 100,
         max_backoff_s: float = 60.0,
+        backoff_factor: float = 2.0,
     ) -> None:
         if retry_backoff_s < 0:
             raise ValueError(f"negative backoff: {retry_backoff_s}")
@@ -367,6 +368,8 @@ class RemoteAppendClient:
             raise ValueError(f"max_retries must be >= 1: {max_retries}")
         if max_backoff_s < retry_backoff_s:
             raise ValueError("max_backoff_s must be >= retry_backoff_s")
+        if backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1: {backoff_factor}")
         self.transport = transport
         self.client = client
         self.server = server
@@ -375,6 +378,7 @@ class RemoteAppendClient:
         self.retry_backoff_s = retry_backoff_s
         self.max_retries = max_retries
         self.max_backoff_s = max_backoff_s
+        self.backoff_factor = backoff_factor
         self.client_id = f"{client.name}/{next(self._ids)}"
         self._cached_size: Optional[int] = None
         self._op_counter = itertools.count()
@@ -431,7 +435,8 @@ class RemoteAppendClient:
                     # paper's "frequent network interruption" in remote
                     # deployments) are waited out rather than hammered.
                     backoff = min(
-                        self.retry_backoff_s * (2 ** min(attempt, 12)),
+                        self.retry_backoff_s
+                        * (self.backoff_factor ** min(attempt, 12)),
                         self.max_backoff_s,
                     )
                     yield engine.timeout(backoff)

@@ -98,17 +98,69 @@ class Cluster:
 
     def cancel(self, job: Job) -> None:
         """Cancel a pending or running job."""
+        self._terminate(job, JobState.CANCELLED)
+
+    def fail(self, job: Job) -> None:
+        """Kill a pending or running job as FAILED (node crash, preemption)."""
+        self._terminate(job, JobState.FAILED)
+
+    def _terminate(self, job: Job, state: JobState) -> None:
         if job in self._pending:
             self._pending.remove(job)
-            job.state = JobState.CANCELLED
+            job.state = state
             job.end_time = self.engine.now
             if job.finished is not None and not job.finished.triggered:
                 job.finished.succeed(job)
             self._drive()
         elif job in self._running:
-            self._finish(job, JobState.CANCELLED)
+            self._finish(job, state)
         elif not job.is_terminal:
             raise SubmitError(f"job {job.name!r} is not on cluster {self.name}")
+
+    # -- node failures -----------------------------------------------------------
+
+    def fail_nodes(self, n: int) -> list[Job]:
+        """Take ``n`` nodes out of service, killing jobs that no longer fit.
+
+        Victims are the most recently started running jobs (the batch
+        system's usual preemption order -- oldest work is preserved), each
+        terminated as FAILED. Returns the killed jobs. The capacity stays
+        reduced until :meth:`restore_nodes`.
+        """
+        if n <= 0:
+            raise ValueError(f"node failure count must be positive: {n}")
+        if n >= self.total_nodes:
+            raise ValueError(
+                f"cannot fail {n} of {self.total_nodes} nodes: at least one "
+                f"node must survive"
+            )
+        self.total_nodes -= n
+        # Pending jobs that can no longer ever fit would wedge the backfill
+        # reservation; they die with the nodes. Remove them all before any
+        # _drive so the scheduler never sees an unsatisfiable head.
+        doomed = [j for j in self._pending if j.nodes > self.total_nodes]
+        for job in doomed:
+            self._pending.remove(job)
+            job.state = JobState.FAILED
+            job.end_time = self.engine.now
+            if job.finished is not None and not job.finished.triggered:
+                job.finished.succeed(job)
+        killed: list[Job] = list(doomed)
+        while sum(j.nodes for j in self._running) > self.total_nodes:
+            victim = max(
+                self._running, key=lambda j: (j.start_time or 0.0, j.job_id)
+            )
+            killed.append(victim)
+            self._finish(victim, JobState.FAILED)
+        self._drive()
+        return killed
+
+    def restore_nodes(self, n: int) -> None:
+        """Return ``n`` repaired nodes to service and re-drive the queue."""
+        if n <= 0:
+            raise ValueError(f"node restore count must be positive: {n}")
+        self.total_nodes += n
+        self._drive()
 
     # -- internals --------------------------------------------------------------
 

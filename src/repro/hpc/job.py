@@ -15,6 +15,7 @@ class JobState(Enum):
     COMPLETED = "completed"
     CANCELLED = "cancelled"
     TIMEOUT = "timeout"      # hit its walltime limit
+    FAILED = "failed"        # killed by a node failure / preemption
 
 
 @dataclass
@@ -69,4 +70,9 @@ class Job:
 
     @property
     def is_terminal(self) -> bool:
-        return self.state in (JobState.COMPLETED, JobState.CANCELLED, JobState.TIMEOUT)
+        return self.state in (
+            JobState.COMPLETED,
+            JobState.CANCELLED,
+            JobState.TIMEOUT,
+            JobState.FAILED,
+        )

@@ -102,7 +102,12 @@ class Pilot:
 
     def _on_finished(self, _event) -> None:
         if self.state is not PilotState.FAILED:
-            self.state = PilotState.DONE
+            if self.job is not None and self.job.state is JobState.FAILED:
+                # The placeholder was killed (node failure, preemption)
+                # rather than reaching its walltime.
+                self.state = PilotState.FAILED
+            else:
+                self.state = PilotState.DONE
         if not self.finished.triggered:
             self.finished.succeed(self)
 
@@ -139,11 +144,34 @@ class Pilot:
 
     def _task_body(self, task: Task) -> Generator:
         if not self.is_active:
-            # Wait for activation (the batch queue) before doing anything.
-            yield self.active
+            if self.finished.triggered:
+                task.state = TaskState.FAILED
+                raise RuntimeError(
+                    f"pilot {self.name!r} is {self.state.value}; task "
+                    f"{task.name!r} cannot start"
+                )
+            # Wait for activation (the batch queue) -- or for the pilot to
+            # die in the queue (cancellation, node failure), which must not
+            # leave the task waiting forever.
+            yield self.engine.any_of([self.active, self.finished])
+            if not self.is_active:
+                task.state = TaskState.FAILED
+                raise RuntimeError(
+                    f"pilot {self.name!r} terminated before task "
+                    f"{task.name!r} started"
+                )
         assert self._node_pool is not None
         grant = self._node_pool.request(task.nodes)
-        yield grant
+        granted = yield self.engine.any_of([grant, self.finished])
+        if grant not in granted:
+            # Pilot died while the task queued on its node pool; withdraw
+            # the request so the pool never grants to a dead waiter.
+            grant._abandoned = True
+            task.state = TaskState.FAILED
+            raise RuntimeError(
+                f"pilot {self.name!r} terminated while task {task.name!r} "
+                f"waited for nodes"
+            )
         try:
             duration = task.duration_on(task.nodes, self.site.cluster.cores_per_node)
             if duration > self.remaining_walltime_s():
@@ -154,7 +182,20 @@ class Pilot:
                 )
             task.state = TaskState.RUNNING
             task.start_time = self.engine.now
-            yield self.engine.timeout(duration)
+            deadline = self.engine.now + duration
+            run = self.engine.timeout(duration)
+            outcome = yield self.engine.any_of([run, self.finished])
+            if run not in outcome and self.engine.now < deadline:
+                # Mid-task pilot death (node failure, preemption): the
+                # partial work is lost with the nodes. An exact tie with
+                # the pilot's own walltime expiry counts as completion.
+                task.state = TaskState.FAILED
+                task.end_time = self.engine.now
+                raise RuntimeError(
+                    f"pilot {self.name!r} died "
+                    f"{self.engine.now - task.start_time:.0f}s into task "
+                    f"{task.name!r}"
+                )
             if task.fn is not None:
                 task.result = task.fn()
             task.state = TaskState.DONE

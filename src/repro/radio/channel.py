@@ -8,7 +8,7 @@ slicing runs, growing with bandwidth in TDD) calibrate the noise scales.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -50,6 +50,22 @@ class ChannelModel:
         """Draw ``n`` per-sample CQI values, clipped to the valid ladder."""
         draws = rng.normal(self.mean_cqi, self.cqi_sigma, size=n)
         return np.clip(np.rint(draws), 1, 15).astype(int)
+
+    def degraded(
+        self, cqi_drop: float = 4.0, fading_scale: float = 2.0
+    ) -> "ChannelModel":
+        """A faded copy of this channel: CQI pulled down (floored at the
+        bottom of the ladder) and fast fading widened -- the shape of a
+        rural link fade rather than a hard outage."""
+        if cqi_drop < 0:
+            raise ValueError(f"cqi_drop must be non-negative: {cqi_drop}")
+        if fading_scale < 1.0:
+            raise ValueError(f"fading_scale must be >= 1: {fading_scale}")
+        return replace(
+            self,
+            mean_cqi=max(1.0, self.mean_cqi - cqi_drop),
+            fading_sigma=self.fading_sigma * fading_scale,
+        )
 
     def draw_fading(
         self, rng: np.random.Generator, n: int = 1, jitter_scale: float = 1.0

@@ -17,7 +17,7 @@ from typing import Optional
 import numpy as np
 
 from repro.radio.channel import ChannelModel
-from repro.radio.core5g import Core5G
+from repro.radio.core5g import Core5G, RegistrationError, SessionError
 from repro.radio.devices import (
     Device,
     LAPTOP,
@@ -112,6 +112,41 @@ class PrivateCellularNetwork:
             self.core.release_session(ue.sim.imsi, ue.session.session_id)
             ue.session = None
         self.ues.remove(ue)
+
+    def detach_ue(self, ue: UserEquipment) -> None:
+        """Drop a UE from the cell without forgetting it (power loss, RF
+        outage). The UE stays provisioned and listed; its PDU session is
+        released so routing fails until :meth:`recover_ue`. Idempotent:
+        detaching an already-dark UE (overlapping faults) is a no-op."""
+        if ue not in self.ues:
+            raise ValueError(f"UE {ue.ue_id!r} is not on network {self.name!r}")
+        if ue.ue_id in {u.ue_id for u in self.gnb.attached_ues}:
+            self.gnb.detach(ue.ue_id)
+        if ue.session is not None:
+            try:
+                self.core.release_session(ue.sim.imsi, ue.session.session_id)
+            except (RegistrationError, SessionError):
+                # The core already dropped it (e.g. a deregistration fault
+                # landed first); just reflect that locally.
+                ue.session.active = False
+            ue.session = None
+
+    def recover_ue(self, ue: UserEquipment) -> UserEquipment:
+        """Re-attach a detached UE: re-register (idempotent), open a fresh
+        PDU session on its slice, and attach to the cell."""
+        if ue not in self.ues:
+            raise ValueError(f"UE {ue.ue_id!r} is not on network {self.name!r}")
+        if ue.attached:
+            return ue
+        self.core.register(ue.sim)
+        ue.session = self.core.establish_session(
+            ue.sim.imsi, slice_name=ue.slice_name
+        )
+        if ue.ue_id not in {u.ue_id for u in self.gnb.attached_ues}:
+            # A session-only drop (core deregistration) leaves the radio
+            # attachment in place; only re-attach after a true detach.
+            self.gnb.attach(ue)
+        return ue
 
     def measure_uplink(
         self,

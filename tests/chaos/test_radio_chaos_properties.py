@@ -1,0 +1,109 @@
+"""Property tests: radio-layer chaos never breaks PRB conservation.
+
+The MAC scheduler invariant (allocations never exceed the budget, and sum
+to ``min(budget, total demand)``) must hold under any fault timing: UEs
+dropping out and reattaching between rounds, channel fades rewriting CQIs
+mid-flight, demand spikes. The schedulers are stateful (rotation /
+average-rate history), so faults that remove a UE for a few rounds and
+bring it back exercise exactly the state transitions a detach/reattach
+storm produces.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.radio.channel import NR_CHANNEL
+from repro.radio.scheduler import (
+    ProportionalFairScheduler,
+    RoundRobinScheduler,
+    UeDemand,
+)
+
+N_UES = 5
+
+
+@st.composite
+def chaos_rounds(draw):
+    """A multi-round schedule where faults gate UE presence and CQI.
+
+    Each round is (present_mask, cqi_per_ue, wanted_per_ue, budget): a UE
+    absent in a round has detached (power loss / PDU-session drop); a CQI
+    drop models a fade window opening; recovery is the mask flipping back.
+    """
+    n_rounds = draw(st.integers(min_value=1, max_value=12))
+    rounds = []
+    for _ in range(n_rounds):
+        present = draw(
+            st.lists(st.booleans(), min_size=N_UES, max_size=N_UES)
+        )
+        cqis = draw(
+            st.lists(st.integers(min_value=1, max_value=15),
+                     min_size=N_UES, max_size=N_UES)
+        )
+        wanted = draw(
+            st.lists(st.integers(min_value=0, max_value=300),
+                     min_size=N_UES, max_size=N_UES)
+        )
+        budget = draw(st.integers(min_value=0, max_value=106))
+        rounds.append((present, cqis, wanted, budget))
+    return rounds
+
+
+def demands_for(present, cqis, wanted):
+    return [
+        UeDemand(f"ue{i}", prbs_wanted=wanted[i], cqi=cqis[i])
+        for i in range(N_UES)
+        if present[i]
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(rounds=chaos_rounds())
+def test_round_robin_conserves_prbs_under_detach_storms(rounds):
+    sched = RoundRobinScheduler()
+    for present, cqis, wanted, budget in rounds:
+        demands = demands_for(present, cqis, wanted)
+        alloc = sched.allocate(demands, budget)
+        total_wanted = sum(d.prbs_wanted for d in demands)
+        assert sum(alloc.values()) == min(budget, total_wanted)
+        assert all(v >= 0 for v in alloc.values())
+        for d in demands:
+            assert alloc.get(d.ue_id, 0) <= d.prbs_wanted
+
+
+@settings(max_examples=60, deadline=None)
+@given(rounds=chaos_rounds())
+def test_proportional_fair_conserves_prbs_under_detach_storms(rounds):
+    sched = ProportionalFairScheduler()
+    for present, cqis, wanted, budget in rounds:
+        demands = demands_for(present, cqis, wanted)
+        alloc = sched.allocate(demands, budget)
+        total_wanted = sum(d.prbs_wanted for d in demands)
+        assert sum(alloc.values()) == min(budget, total_wanted)
+        for d in demands:
+            assert alloc.get(d.ue_id, 0) <= d.prbs_wanted
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    cqi_drop=st.floats(min_value=0.0, max_value=20.0),
+    fading_scale=st.floats(min_value=1.0, max_value=10.0),
+    budget=st.integers(min_value=1, max_value=106),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_faded_channel_cqis_stay_schedulable(cqi_drop, fading_scale,
+                                             budget, seed):
+    """Any ``degraded()`` channel still samples CQIs the schedulers accept,
+    and allocation under those CQIs conserves PRBs."""
+    import numpy as np
+
+    faded = NR_CHANNEL.degraded(cqi_drop=cqi_drop, fading_scale=fading_scale)
+    rng = np.random.default_rng(seed)
+    cqis = [int(c) for c in faded.draw_cqi(rng, n=4)]
+    assert all(1 <= c <= 15 for c in cqis)
+    demands = [
+        UeDemand(f"ue{i}", prbs_wanted=50, cqi=c)
+        for i, c in enumerate(cqis)
+    ]
+    alloc = ProportionalFairScheduler().allocate(demands, budget)
+    assert sum(alloc.values()) == min(budget, 200)
