@@ -13,8 +13,6 @@ Regenerates the section's quantitative claims:
   response latency against idle node-hours.
 """
 
-import numpy as np
-
 from repro.analysis import ComparisonTable
 from repro.cfd import CfdPerformanceModel
 from repro.core import FabricConfig, XGFabric, analyze_end_to_end

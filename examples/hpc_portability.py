@@ -13,7 +13,7 @@ Usage::
 
 from repro.cfd import CfdPerformanceModel
 from repro.hpc import QueueLoadGenerator, all_sites
-from repro.pilot import Pilot, PilotController, Task
+from repro.pilot import PilotController, Task
 from repro.simkernel import Engine
 
 

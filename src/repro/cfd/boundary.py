@@ -13,7 +13,6 @@ a patch of the screen -- the airflow anomaly the digital twin looks for.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 

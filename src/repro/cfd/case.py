@@ -14,12 +14,15 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.cfd.boundary import BoundaryConditions, WindInlet, cups_screen_walls
 from repro.cfd.mesh import StructuredMesh, default_mesh
 from repro.cfd.solver import ProjectionSolver, SolverConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import Tracer
 
 
 @dataclass(frozen=True)
@@ -56,7 +59,7 @@ class CfdCase:
     config: SolverConfig
     telemetry: Optional[TelemetrySnapshot] = None
 
-    def build_solver(self, tracer=None) -> ProjectionSolver:
+    def build_solver(self, tracer: Optional["Tracer"] = None) -> ProjectionSolver:
         return ProjectionSolver(self.mesh, self.bcs, self.config, tracer=tracer)
 
     def write(self, directory: str) -> str:

@@ -12,13 +12,12 @@ the robot on suspicion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from typing import Any, Generator, Optional
 
 import numpy as np
 
 from repro.cfd.case import CfdCase, TelemetrySnapshot, case_from_telemetry
 from repro.cfd.perfmodel import CfdPerformanceModel
-from repro.cfd.solver import ProjectionSolver
 from repro.core.config import FabricConfig
 from repro.core.digital_twin import DigitalTwin
 from repro.core.telemetry import TELEMETRY_ELEMENT_SIZE, TelemetryRecord
@@ -33,13 +32,18 @@ from repro.laminar.runtime import LaminarRuntime
 from repro.obs.trace import NULL_SPAN, NULL_TRACER, Tracer
 from repro.pilot.controller import PilotController
 from repro.pilot.multisite import MultiSitePilotController
+from repro.pilot.pilot import Pilot
 from repro.pilot.task import Task
 from repro.radio.network import NetworkDeployment, PrivateCellularNetwork
+from repro.radio.ue import UserEquipment
 from repro.sensors.breach import BreachSchedule
 from repro.sensors.robot import FarmNgRobot, SurveilReport
-from repro.sensors.station import WeatherStation, station_grid
+from repro.sensors.station import StationReading, WeatherStation, station_grid
 from repro.sensors.weather import SyntheticWeather
-from repro.simkernel import Engine
+from repro.simkernel import Engine, Event
+
+#: Process bodies yield events and may receive any triggered value back.
+FabricProcess = Generator[Event, Any, None]
 
 
 @dataclass
@@ -152,31 +156,30 @@ class XGFabric:
         # the historical constants, so behaviour is unchanged until a
         # policy says otherwise).
         ap = cfg.policies.append
-        append_kwargs = dict(
-            retry_backoff_s=ap.backoff_s,
-            max_retries=ap.max_attempts,
-            max_backoff_s=ap.max_backoff_s,
-            backoff_factor=ap.backoff_factor,
-        )
-        self._summary_appender = RemoteAppendClient(
-            self.transport, self.nd, self.ucsb, "cfd.summary", **append_kwargs
-        )
-        self._operator_appender = RemoteAppendClient(
-            self.transport, self.ucsb, self.unl, "operator.inbox",
-            **append_kwargs,
-        )
+
+        def _appender(
+            client: CSPOTNode, server: CSPOTNode, log_name: str
+        ) -> RemoteAppendClient:
+            return RemoteAppendClient(
+                self.transport, client, server, log_name,
+                retry_backoff_s=ap.backoff_s,
+                max_retries=ap.max_attempts,
+                max_backoff_s=ap.max_backoff_s,
+                backoff_factor=ap.backoff_factor,
+            )
+
+        self._summary_appender = _appender(self.nd, self.ucsb, "cfd.summary")
+        self._operator_appender = _appender(self.ucsb, self.unl, "operator.inbox")
         self._appenders = {
-            station.station_id: RemoteAppendClient(
-                self.transport, self.unl, self.ucsb,
-                f"telemetry.{station.station_id}",
-                **append_kwargs,
+            station.station_id: _appender(
+                self.unl, self.ucsb, f"telemetry.{station.station_id}"
             )
             for station in self.stations
         }
 
         # -- private 5G network (byte accounting + attach pipeline) -----------------
         self.radio: Optional[PrivateCellularNetwork] = None
-        self._ue = None
+        self._ue: Optional[UserEquipment] = None
         if cfg.include_radio:
             self.radio = NetworkDeployment.build(
                 "5g-tdd", cfg.radio_bandwidth_mhz, name="prod"
@@ -235,12 +238,11 @@ class XGFabric:
                 threshold_bytes=cfg.pilot_threshold_bytes,
                 walltime_factor=cfg.pilot_walltime_factor,
             )
+        self._bg_load: Optional[QueueLoadGenerator] = None
         if cfg.background_jobs_per_hour > 0:
             self._bg_load = QueueLoadGenerator(
                 self.site, arrival_rate_per_hour=cfg.background_jobs_per_hour
             )
-        else:
-            self._bg_load = None
 
         # -- digital twin ------------------------------------------------------------------
         self.twin = DigitalTwin(
@@ -288,12 +290,12 @@ class XGFabric:
 
     # -- processes --------------------------------------------------------------------
 
-    def _telemetry_loop(self, duration_s: float) -> Generator:
+    def _telemetry_loop(self, duration_s: float) -> FabricProcess:
         cfg = self.config
         tr = self.tracer
         while self.engine.now + cfg.telemetry_interval_s <= duration_s:
             yield self.engine.timeout(cfg.telemetry_interval_s)
-            readings = []
+            readings: list[StationReading] = []
             for station in self.stations:
                 reading = station.read(
                     self.weather,
@@ -320,12 +322,12 @@ class XGFabric:
                 self.metrics.telemetry_latencies_s.append(self.engine.now - start)
                 self.metrics.telemetry_sent += 1
                 self.metrics.telemetry_bytes += len(payload)
-                if self._ue is not None and self._ue.attached:
+                if self.radio is not None and self._ue is not None and self._ue.attached:
                     self.radio.core.route_uplink(self._ue.session, len(payload))
             # Twin comparison against the freshest interior measurements.
             self._compare_twin(readings)
 
-    def _duty_cycle_loop(self, duration_s: float) -> Generator:
+    def _duty_cycle_loop(self, duration_s: float) -> FabricProcess:
         cfg = self.config
         while self.engine.now + cfg.duty_cycle_s <= duration_s:
             yield self.engine.timeout(cfg.duty_cycle_s)
@@ -362,7 +364,7 @@ class XGFabric:
                     "alerts", f"alert@{self.engine.now:.0f}".encode()
                 )
 
-    def _alert_poll_loop(self, duration_s: float) -> Generator:
+    def _alert_poll_loop(self, duration_s: float) -> FabricProcess:
         """ND fetches the alert log on the 30-minute duty cycle.
 
         Fetches retry on the configured fetch policy; if a partition or a
@@ -394,7 +396,7 @@ class XGFabric:
             if not self._cfd_busy:
                 self.engine.process(self._cfd_trigger(), name="cfd-trigger")
 
-    def _pilot_watchdog(self, duration_s: float) -> Generator:
+    def _pilot_watchdog(self, duration_s: float) -> FabricProcess:
         """Re-bootstrap the pilot layer when faults empty it.
 
         Only runs when ``policies.pilot_watchdog_s`` is positive. Without
@@ -409,7 +411,7 @@ class XGFabric:
             if self.controller.nodes_available() == 0:
                 self.controller.bootstrap()
 
-    def _cfd_trigger(self) -> Generator:
+    def _cfd_trigger(self) -> FabricProcess:
         """Alert -> pilot -> CFD -> twin refresh (the HPC arm of Fig. 3)."""
         cfg = self.config
         policy = cfg.policies.pilot
@@ -436,7 +438,7 @@ class XGFabric:
             )
             queue_start = self.engine.now
             site_name = self.site.name
-            task = None
+            task: Optional[Task] = None
             # A pilot can expire or be killed between selection and
             # execution; acquire a fresh one and retry (the delay-tolerant
             # discipline again), up to the configured attempt budget.
@@ -466,6 +468,7 @@ class XGFabric:
                         help="CFD triggers abandoned after pilot retries",
                     ).inc(site=site_name)
                 return
+            assert task is not None  # the retry loop always built one
             queue_wait = (task.start_time or queue_start) - queue_start
             tr = self.tracer
             sim_span = None
@@ -541,7 +544,7 @@ class XGFabric:
 
     # -- helpers ------------------------------------------------------------------------
 
-    def _acquire_pilot(self, case: CfdCase):
+    def _acquire_pilot(self, case: CfdCase) -> tuple[str, Pilot, int]:
         """(site name, pilot, nodes needed) via single- or multi-site path."""
         cfg = self.config
         if self.multisite is not None:
@@ -577,7 +580,7 @@ class XGFabric:
         if ext_log.last_seqno == 0:
             raise RuntimeError("no telemetry available to build a CFD case")
         ext = TelemetryRecord.from_bytes(ext_log.get(ext_log.last_seqno).payload)
-        interior_temps = []
+        interior_temps: list[float] = []
         humidity = ext.relative_humidity
         for station in self.stations:
             if not station.interior:
@@ -599,7 +602,7 @@ class XGFabric:
             timestamp_s=self.engine.now,
         )
 
-    def _compare_twin(self, readings) -> None:
+    def _compare_twin(self, readings: list[StationReading]) -> None:
         if not self.twin.has_prediction:
             return
         exterior = next(r for r in readings if not r.interior)
@@ -619,7 +622,7 @@ class XGFabric:
                 truth = panel in self.breaches.breached_panels_at(self.engine.now)
                 mission = self.robot.dispatch(panel, breach_present=truth)
 
-                def _record(event) -> None:
+                def _record(event: Event) -> None:
                     if event.ok:
                         report: SurveilReport = event.value
                         self.metrics.robot_reports.append(report)
@@ -627,7 +630,11 @@ class XGFabric:
                         # uplink as the stations ("robot-based sensing").
                         image_bytes = report.images_taken * 2_000_000
                         self.metrics.robot_upload_bytes += image_bytes
-                        if self._ue is not None and self._ue.attached:
+                        if (
+                            self.radio is not None
+                            and self._ue is not None
+                            and self._ue.attached
+                        ):
                             self.radio.core.route_uplink(
                                 self._ue.session, image_bytes
                             )

@@ -21,6 +21,14 @@ class FaultInjector:
     which messages on the path fail. Ack loss is i.i.d. with probability
     ``ack_loss_prob`` applied to the acknowledgement leg only (producing the
     paper's "append succeeded but the sequence number was lost" mode).
+
+    Ack-loss draws require a registry-derived generator: either pass
+    ``rng`` explicitly (derive it from the engine's
+    :class:`~repro.simkernel.rng.RngRegistry`) or let
+    :meth:`~repro.cspot.transport.Transport.connect` bind a per-path named
+    stream. There is deliberately *no* silent fallback generator -- a
+    fixed-seed default would ignore the master seed, so campaigns with
+    different seeds would replay identical ack-loss sequences.
     """
 
     def __init__(
@@ -31,9 +39,20 @@ class FaultInjector:
         if not 0.0 <= ack_loss_prob < 1.0:
             raise ValueError(f"ack_loss_prob out of [0,1): {ack_loss_prob}")
         self.ack_loss_prob = ack_loss_prob
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._rng = rng
         self._starts: list[float] = []
         self._ends: list[float] = []
+
+    def bind_rng(self, rng: np.random.Generator) -> None:
+        """Attach the ack-loss stream if none was passed at construction.
+
+        Idempotent in the sense that an explicitly supplied generator is
+        never overridden; :class:`~repro.cspot.transport.Transport` calls
+        this when a path is connected so default-constructed injectors end
+        up on a named, master-seed-derived stream.
+        """
+        if self._rng is None:
+            self._rng = rng
 
     def add_partition(self, start: float, end: float) -> None:
         """Schedule a partition window [start, end)."""
@@ -92,4 +111,10 @@ class FaultInjector:
         """Draw whether this operation's acknowledgement is lost."""
         if self.ack_loss_prob == 0.0:
             return False
+        if self._rng is None:
+            raise RuntimeError(
+                "FaultInjector with ack_loss_prob > 0 has no generator; "
+                "pass rng= (derived from the RngRegistry) or register the "
+                "path via Transport.connect, which binds a named stream"
+            )
         return bool(self._rng.random() < self.ack_loss_prob)

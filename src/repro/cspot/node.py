@@ -13,7 +13,7 @@ from storage and re-arms the registered handlers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.cspot.dedup import DedupTable

@@ -18,7 +18,7 @@ Semantics:
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.cspot.errors import AppendError, NodeDownError
 from repro.cspot.node import CSPOTNode

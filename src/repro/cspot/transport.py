@@ -101,7 +101,13 @@ class Transport:
         self._rng = engine.rng("cspot.transport")
 
     def connect(self, src: str, dst: str, path: NetworkPath, bidirectional: bool = True) -> None:
-        """Register a path between two node names."""
+        """Register a path between two node names.
+
+        Binds the path's fault injector to a named registry stream
+        (``cspot.faults.<src>-<dst>``) unless the injector was built with
+        an explicit generator, so ack-loss draws follow the master seed.
+        """
+        path.faults.bind_rng(self.engine.rng(f"cspot.faults.{src}-{dst}"))
         self._paths[(src, dst)] = path
         if bidirectional:
             self._paths[(dst, src)] = path

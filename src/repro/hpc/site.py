@@ -13,9 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Generator, Optional
-
-import numpy as np
+from typing import Generator
 
 from repro.hpc.cluster import Cluster
 from repro.hpc.job import Job

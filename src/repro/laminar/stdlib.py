@@ -16,7 +16,6 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from repro.laminar.graph import DataflowGraph
-from repro.laminar.node import LaminarNode
 from repro.laminar.operand import Operand
 from repro.laminar.types import ARRAY_F64, BOOL, F64, LaminarType, record_type
 

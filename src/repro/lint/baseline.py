@@ -1,0 +1,103 @@
+"""Checked-in violation baseline: grandfather known debt, block new debt.
+
+Format is line-oriented text so the file diffs and reviews like code::
+
+    # repro.lint baseline -- one entry per grandfathered violation.
+    REPRO101 0123456789abcdef src/repro/foo.py  # justification
+
+An entry matches any current violation with the same fingerprint (code +
+path + offending line text -- see ``Violation.fingerprint``), so baselined
+lines survive unrelated edits but are invalidated the moment the offending
+line itself changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.violations import Violation
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    code: str
+    fingerprint: str
+    path: str
+    justification: str = ""
+
+    def format(self) -> str:
+        line = f"{self.code} {self.fingerprint} {self.path}"
+        if self.justification:
+            line += f"  # {self.justification}"
+        return line
+
+
+class Baseline:
+    """A set of grandfathered violation fingerprints."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: list[BaselineEntry] = list(entries)
+        self._fingerprints: frozenset[str] = frozenset(
+            e.fingerprint for e in self.entries
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def contains(self, violation: Violation) -> bool:
+        return violation.fingerprint() in self._fingerprints
+
+    def stale_entries(self, violations: Iterable[Violation]) -> list[BaselineEntry]:
+        """Entries whose violation no longer exists (candidates to prune)."""
+        live = {v.fingerprint() for v in violations}
+        return [e for e in self.entries if e.fingerprint not in live]
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        entries: list[BaselineEntry] = []
+        for raw in path.read_text(encoding="utf-8").splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            body, _, comment = line.partition("#")
+            fields = body.split()
+            if len(fields) != 3:
+                raise ValueError(f"malformed baseline line: {raw!r}")
+            code, fingerprint, vpath = fields
+            entries.append(
+                BaselineEntry(
+                    code=code,
+                    fingerprint=fingerprint,
+                    path=vpath,
+                    justification=comment.strip(),
+                )
+            )
+        return cls(entries)
+
+    @classmethod
+    def from_violations(cls, violations: Iterable[Violation]) -> "Baseline":
+        entries = [
+            BaselineEntry(
+                code=v.code,
+                fingerprint=v.fingerprint(),
+                path=v.path,
+                justification="TODO: justify or fix",
+            )
+            for v in sorted(set(violations))
+        ]
+        return cls(entries)
+
+    def dump(self, path: Path) -> None:
+        header = (
+            "# repro.lint baseline -- grandfathered violations.\n"
+            "# Each line: CODE FINGERPRINT PATH  # justification\n"
+            "# Entries are matched by fingerprint (code + path + offending\n"
+            "# line text); editing the offending line invalidates the entry.\n"
+            "# Keep this file empty: fix or justify, never accumulate.\n"
+        )
+        body = "".join(e.format() + "\n" for e in self.entries)
+        path.write_text(header + body, encoding="utf-8")

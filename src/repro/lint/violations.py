@@ -1,0 +1,38 @@
+"""Violation records and stable fingerprints for baselining."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule hit at a specific source location.
+
+    Ordering is (path, line, col, code) so reports and baselines are
+    deterministic regardless of rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    #: The stripped text of the offending source line; used for the
+    #: fingerprint so baselined entries survive unrelated line moves.
+    line_text: str = ""
+
+    def format(self) -> str:
+        """Render as ``path:line:col: CODE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching.
+
+        Hashes (code, path, stripped line text) -- not the line *number* --
+        so inserting unrelated lines above a baselined violation does not
+        invalidate the baseline entry.
+        """
+        payload = f"{self.code}|{self.path}|{self.line_text.strip()}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

@@ -17,7 +17,6 @@ from ``squeue``/``qstat``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.cfd.perfmodel import CfdPerformanceModel
 from repro.hpc.site import HpcSite

@@ -15,7 +15,7 @@ from typing import Generator, Optional
 from repro.hpc.job import Job, JobState
 from repro.hpc.site import HpcSite
 from repro.pilot.task import Task, TaskState
-from repro.simkernel import Engine, Event, Resource
+from repro.simkernel import Engine, Event, Process, Resource
 
 
 class PilotState(Enum):
@@ -128,7 +128,7 @@ class Pilot:
             return 0.0
         return max(0.0, self.job.start_time + self.walltime_s - self.engine.now)
 
-    def run_task(self, task: Task):
+    def run_task(self, task: Task) -> "Process":
         """Execute a task on this pilot's nodes; returns a process yielding
         the task result. Tasks queue on the pilot's internal node pool (no
         batch system involved)."""

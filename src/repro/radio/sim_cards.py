@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class AuthenticationError(Exception):

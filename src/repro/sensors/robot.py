@@ -10,9 +10,7 @@ inspects with an imperfect camera (a detection probability per pass).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Optional
-
-import numpy as np
+from typing import Generator
 
 from repro.simkernel import Engine, Process
 

@@ -10,7 +10,7 @@ stationary enough that consecutive 5-minute readings differ only by noise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

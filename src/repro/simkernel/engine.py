@@ -4,10 +4,12 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+import numpy as np
 
 from repro.simkernel.events import AllOf, AnyOf, Event, Timeout
-from repro.simkernel.process import Process
+from repro.simkernel.process import Process, ProcessBody
 from repro.simkernel.rng import RngRegistry
 
 
@@ -35,7 +37,7 @@ class Engine:
     def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue: list[tuple[float, int, Event]] = []
-        self._eid = count()
+        self._eid: Iterator[int] = count()
         self.rngs = RngRegistry(seed)
         self._trace_hooks: list[Callable[[float, Event], None]] = []
 
@@ -48,7 +50,7 @@ class Engine:
 
     # -- rng ------------------------------------------------------------------
 
-    def rng(self, name: str):
+    def rng(self, name: str) -> np.random.Generator:
         """Return the named, independently seeded random generator."""
         return self.rngs.get(name)
 
@@ -62,13 +64,13 @@ class Engine:
         """Create an event that fires ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
-    def any_of(self, events) -> AnyOf:
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
         return AnyOf(self, events)
 
-    def all_of(self, events) -> AllOf:
+    def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
-    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+    def process(self, generator: ProcessBody, name: Optional[str] = None) -> Process:
         """Start a cooperative process from a generator."""
         return Process(self, generator, name=name)
 

@@ -15,6 +15,10 @@ from repro.simkernel.events import Event, Interrupt
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simkernel.engine import Engine
 
+#: The shape of a process body: yields events to wait on, receives each
+#: event's value back at the yield, may return anything.
+ProcessBody = Generator[Event, Any, Any]
+
 
 class ProcessDied(Exception):
     """Raised when interacting with a process that already terminated."""
@@ -33,18 +37,18 @@ class Process(Event):
     def __init__(
         self,
         engine: "Engine",
-        generator: Generator,
+        generator: ProcessBody,
         name: Optional[str] = None,
     ) -> None:
         super().__init__(engine)
         if not hasattr(generator, "send"):
             raise TypeError(f"process body must be a generator, got {generator!r}")
-        self.name = name or getattr(generator, "__name__", "process")
+        self.name: str = name or getattr(generator, "__name__", "process")
         self._generator = generator
         self._waiting_on: Optional[Event] = None
         # Bootstrap: resume once at the current time.
         boot = Event(engine)
-        boot.callbacks.append(self._resume)
+        boot.add_callback(self._resume)
         boot.succeed()
 
     @property
@@ -73,7 +77,7 @@ class Process(Event):
             self._step(Interrupt(cause), throw=True)
 
         kick = Event(engine)
-        kick.callbacks.append(_deliver)
+        kick.add_callback(_deliver)
         kick.succeed()
 
     # -- internals --------------------------------------------------------------

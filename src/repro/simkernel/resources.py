@@ -122,7 +122,9 @@ class PriorityStore(Store):
         try:
             priority, payload = item
         except (TypeError, ValueError):
-            raise TypeError("PriorityStore items must be (priority, payload) pairs")
+            raise TypeError(
+                "PriorityStore items must be (priority, payload) pairs"
+            ) from None
         while self._getters:
             getter = self._getters.popleft()
             if not getter.triggered and not getter._abandoned:

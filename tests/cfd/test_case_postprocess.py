@@ -6,11 +6,8 @@ import numpy as np
 import pytest
 
 from repro.cfd import (
-    BoundaryConditions,
-    CfdCase,
     FlowFields,
     SolverConfig,
-    WindInlet,
     case_from_telemetry,
     probe_at_points,
     residuals_against_measurements,

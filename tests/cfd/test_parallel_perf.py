@@ -18,7 +18,7 @@ from repro.cfd import (
     decompose_slabs,
 )
 from repro.cfd.boundary import cups_screen_walls
-from repro.cfd.mesh import StructuredMesh, default_mesh
+from repro.cfd.mesh import default_mesh
 
 
 class TestDecomposeSlabs:

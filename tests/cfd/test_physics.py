@@ -11,13 +11,12 @@ import pytest
 
 from repro.cfd import (
     BoundaryConditions,
-    FlowFields,
     ProjectionSolver,
     SolverConfig,
     WindInlet,
 )
 from repro.cfd.boundary import cups_screen_walls
-from repro.cfd.mesh import StructuredMesh, default_mesh
+from repro.cfd.mesh import default_mesh
 
 warnings.filterwarnings("ignore", category=RuntimeWarning)
 

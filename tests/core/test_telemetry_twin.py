@@ -1,12 +1,10 @@
 """Tests for telemetry wire format and the digital twin."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cfd.case import TelemetrySnapshot, case_from_telemetry
-from repro.cfd.fields import FlowFields
 from repro.cfd.solver import SolverConfig
 from repro.core import DigitalTwin, TelemetryRecord
 from repro.sensors.station import StationReading, station_grid

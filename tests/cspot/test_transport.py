@@ -1,20 +1,17 @@
 """Tests for the CSPOT transport: the two-RTT protocol, retry/dedup
 exactly-once semantics, the size-cache optimization and fault tolerance."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cspot import (
-    AckLostError,
     AppendError,
     CSPOTNode,
     DedupTable,
     ElementSizeError,
     NetworkPath,
     NodeDownError,
-    PartitionedError,
     RemoteAppendClient,
     Transport,
 )

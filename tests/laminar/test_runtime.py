@@ -5,7 +5,6 @@ import pytest
 
 from repro.cspot import CSPOTNode, NetworkPath, Transport
 from repro.laminar import (
-    ARRAY_F64,
     DataflowGraph,
     GraphError,
     I64,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cspot import CSPOTNode
-from repro.laminar import ARRAY_F64, BOOL, DataflowGraph, I64, LaminarRuntime
+from repro.laminar import DataflowGraph, I64, LaminarRuntime
 from repro.laminar.change_detect import build_change_detection_graph
 from repro.simkernel import Engine
 

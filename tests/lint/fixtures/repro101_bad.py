@@ -1,0 +1,7 @@
+"""Fixture: reads the host clock inside simulation code."""
+import time
+
+
+def sample_latency(engine):
+    start = time.time()
+    return start - engine.now

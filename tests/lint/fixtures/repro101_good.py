@@ -1,0 +1,5 @@
+"""Fixture: simulation code reads only the engine's virtual clock."""
+
+
+def sample_latency(engine, started_at):
+    return engine.now - started_at

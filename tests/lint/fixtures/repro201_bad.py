@@ -1,0 +1,7 @@
+"""Fixture: constructs a private generator the master seed can't reach."""
+import numpy as np
+
+
+def make_noise():
+    rng = np.random.default_rng(42)
+    return rng.normal()

@@ -1,0 +1,5 @@
+"""Fixture: accepts a registry-derived generator from the caller."""
+
+
+def make_noise(rng):
+    return rng.normal()

@@ -1,0 +1,8 @@
+"""Fixture: draws from hidden global RNG state (numpy legacy + stdlib)."""
+import random
+
+import numpy as np
+
+
+def jitter():
+    return np.random.uniform() + random.random()

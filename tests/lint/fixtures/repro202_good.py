@@ -1,0 +1,5 @@
+"""Fixture: draws from an explicit generator."""
+
+
+def jitter(rng):
+    return rng.uniform()

@@ -1,0 +1,6 @@
+"""Fixture: an unseeded generator pulls OS entropy."""
+from numpy.random import default_rng
+
+
+def fresh_stream():
+    return default_rng()

@@ -1,0 +1,6 @@
+"""Fixture: streams come from the registry, derived from the master seed."""
+from repro.simkernel.rng import RngRegistry
+
+
+def fresh_stream(master_seed):
+    return RngRegistry(master_seed).get("fixture.stream")

@@ -1,0 +1,6 @@
+"""Fixture: RNG in a default argument -- one import-time seed for all calls."""
+import numpy as np
+
+
+def inject(prob, rng=np.random.default_rng(0)):
+    return rng.random() < prob

@@ -1,0 +1,5 @@
+"""Fixture: the caller must supply the generator explicitly."""
+
+
+def inject(prob, rng):
+    return rng.random() < prob

@@ -1,0 +1,5 @@
+"""Fixture: builtin hash() is salted per-process -- unstable seeds."""
+
+
+def stream_seed(name):
+    return hash(name) % (2 ** 32)

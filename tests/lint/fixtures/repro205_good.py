@@ -1,0 +1,6 @@
+"""Fixture: seeds derive via the registry's stable SHA-256 derivation."""
+from repro.simkernel.rng import derive_seed
+
+
+def stream_seed(master, name):
+    return derive_seed(master, name)

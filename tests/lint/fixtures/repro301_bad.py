@@ -1,0 +1,5 @@
+"""Fixture: exact equality against a float literal on field data."""
+
+
+def is_converged(residual):
+    return residual == 0.35

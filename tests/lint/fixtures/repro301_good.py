@@ -1,0 +1,6 @@
+"""Fixture: float comparisons use tolerances; zero sentinel is exact."""
+import math
+
+
+def is_converged(residual):
+    return math.isclose(residual, 0.35, abs_tol=1e-9) or residual == 0.0

@@ -1,0 +1,6 @@
+"""Fixture: a mutable default is one shared object across all calls."""
+
+
+def collect(readings=[]):
+    readings.append(1)
+    return readings

@@ -1,0 +1,8 @@
+"""Fixture: default to None; build the container inside the body."""
+
+
+def collect(readings=None):
+    if readings is None:
+        readings = []
+    readings.append(1)
+    return readings

@@ -1,0 +1,8 @@
+"""Fixture: catch a concrete exception class."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except ValueError:
+        return None

@@ -1,0 +1,9 @@
+"""Fixture: blocking call inside an engine event callback."""
+import time
+
+
+def watch(event):
+    def _on_fire(ev):
+        time.sleep(0.1)
+
+    event.add_callback(_on_fire)

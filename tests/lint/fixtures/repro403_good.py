@@ -1,0 +1,8 @@
+"""Fixture: handlers schedule simulated work instead of blocking."""
+
+
+def watch(engine, event):
+    def _on_fire(ev):
+        engine.timeout(0.1)
+
+    event.add_callback(_on_fire)

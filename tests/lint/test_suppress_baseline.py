@@ -1,0 +1,127 @@
+"""Suppression comments, baseline round-trips, fingerprint semantics."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, lint_source
+from repro.lint.baseline import BaselineEntry
+from repro.lint.violations import Violation
+
+BAD = "import time\n\n\ndef probe():\n    return time.time()\n"
+
+
+class TestSuppressions:
+    def test_inline_disable(self):
+        src = BAD.replace(
+            "return time.time()",
+            "return time.time()  # repro-lint: disable=REPRO101",
+        )
+        assert lint_source(src, scope="src") == []
+
+    def test_inline_disable_is_code_specific(self):
+        src = BAD.replace(
+            "return time.time()",
+            "return time.time()  # repro-lint: disable=REPRO402",
+        )
+        assert any(v.code == "REPRO101" for v in lint_source(src, scope="src"))
+
+    def test_inline_disable_multiple_codes(self):
+        src = (
+            "import time\nimport numpy as np\n\n\n"
+            "def f():\n"
+            "    return time.time(), np.random.default_rng(1)"
+            "  # repro-lint: disable=REPRO101,REPRO201\n"
+        )
+        assert lint_source(src, scope="src") == []
+
+    def test_inline_wildcard(self):
+        src = BAD.replace(
+            "return time.time()",
+            "return time.time()  # repro-lint: disable=*",
+        )
+        assert lint_source(src, scope="src") == []
+
+    def test_disable_file(self):
+        src = "# repro-lint: disable-file=REPRO101\n" + BAD
+        assert lint_source(src, scope="src") == []
+
+    def test_disable_file_other_rules_still_fire(self):
+        src = (
+            "# repro-lint: disable-file=REPRO101\n"
+            + BAD
+            + "\n\ndef g(x=[]):\n    return x\n"
+        )
+        assert [v.code for v in lint_source(src, scope="src")] == ["REPRO401"]
+
+    def test_suppression_must_be_on_violation_line(self):
+        src = "# repro-lint: disable=REPRO101\n" + BAD
+        assert any(v.code == "REPRO101" for v in lint_source(src, scope="src"))
+
+
+class TestFingerprints:
+    def _violation(self, line=5, text="    return time.time()"):
+        return Violation(
+            path="src/repro/x.py",
+            line=line,
+            col=11,
+            code="REPRO101",
+            message="wall clock",
+            line_text=text,
+        )
+
+    def test_stable_across_line_moves(self):
+        assert (
+            self._violation(line=5).fingerprint()
+            == self._violation(line=50).fingerprint()
+        )
+
+    def test_invalidated_by_text_change(self):
+        a = self._violation().fingerprint()
+        b = self._violation(text="    return time.monotonic()").fingerprint()
+        assert a != b
+
+    def test_whitespace_insensitive(self):
+        a = self._violation(text="return time.time()").fingerprint()
+        b = self._violation(text="      return time.time()  ").fingerprint()
+        assert a == b
+
+
+class TestBaseline:
+    def _violations(self):
+        return lint_source(BAD, path="src/repro/x.py")
+
+    def test_round_trip(self, tmp_path: Path):
+        violations = self._violations()
+        assert violations
+        baseline = Baseline.from_violations(violations)
+        target = tmp_path / "baseline.txt"
+        baseline.dump(target)
+        loaded = Baseline.load(target)
+        assert len(loaded) == len(violations)
+        assert all(loaded.contains(v) for v in violations)
+
+    def test_missing_file_is_empty(self, tmp_path: Path):
+        baseline = Baseline.load(tmp_path / "nope.txt")
+        assert len(baseline) == 0
+        assert not baseline.contains(self._violations()[0])
+
+    def test_stale_entries(self):
+        entry = BaselineEntry(
+            code="REPRO101", fingerprint="deadbeefdeadbeef", path="src/gone.py"
+        )
+        baseline = Baseline([entry])
+        assert baseline.stale_entries(self._violations()) == [entry]
+
+    def test_malformed_line_rejected(self, tmp_path: Path):
+        target = tmp_path / "baseline.txt"
+        target.write_text("REPRO101 only-two-fields\n")
+        with pytest.raises(ValueError, match="malformed"):
+            Baseline.load(target)
+
+    def test_comments_and_blanks_ignored(self, tmp_path: Path):
+        target = tmp_path / "baseline.txt"
+        target.write_text("# header\n\nREPRO101 abcd1234abcd1234 src/x.py  # why\n")
+        loaded = Baseline.load(target)
+        assert len(loaded) == 1
+        assert loaded.entries[0].justification == "why"

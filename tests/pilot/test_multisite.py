@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.hpc import Job, all_sites, nd_crc
+from repro.hpc import Job, all_sites
 from repro.pilot import Task
 from repro.pilot.multisite import MultiSitePilotController
 from repro.simkernel import Engine

@@ -1,7 +1,5 @@
 """Unit + integration tests for the gNB, deployment builder and iperf layer."""
 
-import math
-
 import numpy as np
 import pytest
 

@@ -3,8 +3,6 @@
 import pytest
 
 from repro.simkernel import (
-    AllOf,
-    AnyOf,
     Engine,
     Interrupt,
     Resource,

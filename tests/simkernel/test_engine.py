@@ -3,13 +3,9 @@
 import pytest
 
 from repro.simkernel import (
-    AllOf,
     AnyOf,
     Engine,
-    Event,
-    Interrupt,
     SimulationError,
-    Timeout,
 )
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.simkernel import Engine, Interrupt, Process, ProcessDied
+from repro.simkernel import Engine, Interrupt, ProcessDied
 
 
 def test_process_runs_and_returns_value():
