@@ -15,7 +15,9 @@ The run is traced (``repro.obs``), so the section 4.4 latency budget is
 *measured* from recorded spans -- the critical-path table below the stage
 counts -- and the full span record is exported to ``_artifacts`` as a
 Perfetto-loadable trace (``fig3_trace.json``) plus JSONL and metrics
-snapshots.
+snapshots. The run also carries the streaming telemetry stack: online
+quantile sketches (live p50/p95/p99 per stage), the section 4.4 SLOs
+under burn-rate monitoring, and the always-on flight recorder.
 """
 
 import os
@@ -30,7 +32,9 @@ from repro.core import (
     XGFabric,
     analyze_end_to_end,
     fabric_latency_budget,
+    fig3_slos,
 )
+from repro.obs import FlightRecorder, StreamAggregator
 from repro.obs.export import export_run
 from repro.obs.trace import Tracer
 from repro.sensors import BreachEvent
@@ -41,8 +45,18 @@ from benchmarks.conftest import run_once
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "_artifacts")
 
 
+def _streaming_fabric(seed: int = 3) -> XGFabric:
+    return XGFabric(
+        FabricConfig(seed=seed),
+        tracer=Tracer(),
+        slos=fig3_slos(),
+        recorder=FlightRecorder(),
+        stream=StreamAggregator(),
+    )
+
+
 def generate_figure3(seed: int = 3):
-    fabric = XGFabric(FabricConfig(seed=seed), tracer=Tracer())
+    fabric = _streaming_fabric(seed)
     fabric.weather.add_shift(
         RegimeShift(at_time_s=2 * 3600.0, wind_delta_mps=2.5,
                     temperature_delta_k=-3.0)
@@ -120,6 +134,20 @@ def test_fig3_end_to_end_pipeline(benchmark):
     paths = export_run(fabric.tracer, OUTPUT_DIR, prefix="fig3")
     assert os.path.getsize(paths["trace"]) > 10_000
 
+    # Live streaming telemetry: the online sketches agree with the span
+    # record on the append tail, and a healthy run burns no budget.
+    assert fabric.stream is not None and fabric.slo_engine is not None
+    for line in fabric.stream.table():
+        print(line)
+    for line in fabric.slo_engine.table():
+        print(line)
+    sketch = fabric.stream.sketch("span:cspot.append")
+    assert sketch.count == len(fabric.tracer.spans_named("cspot.append"))
+    assert 0.0 < sketch.quantile(0.95) < 1.0
+    summary = fabric.slo_engine.summary()
+    assert summary["sensor-edge-append"]["compliance"] == 1.0
+    assert not fabric.slo_engine.firing()
+
     # And the end-to-end report holds together -- with the transfer leg
     # now *measured* from spans, landing in the paper's ~200 ms regime
     # (101 ms 2-RTT append + ~46 ms alert fetch as simulated here).
@@ -133,8 +161,38 @@ def test_fig3_end_to_end_pipeline(benchmark):
 
 @pytest.mark.smoke
 def test_fig3_smoke_tiny_pipeline():
-    """Smoke lane: the assembled fabric runs a short slice end to end."""
-    fabric = XGFabric(FabricConfig(seed=3), tracer=Tracer())
+    """Smoke lane: the assembled fabric runs a short slice end to end.
+
+    The slice carries the full streaming stack and one injected CSPOT
+    partition, so the smoke artifacts CI uploads include the fig3
+    observability record *and* at least one flight-recorder dump
+    produced through the real chaos trigger path.
+    """
+    from repro.chaos import ChaosCampaign
+    from repro.chaos.faults import CspotPartitionInjector
+
+    fabric = _streaming_fabric(seed=3)
+    campaign = ChaosCampaign([
+        CspotPartitionInjector(start_s=1800.0, duration_s=300.0,
+                               src="unl", dst="ucsb"),
+    ]).attach(fabric)
     metrics = fabric.run(2 * 3600.0)
     assert metrics.telemetry_sent > 0
     assert fabric.tracer.finished_spans()
+
+    # The partition produced a chaos-triggered dump (plus any SLO-breach
+    # dumps the induced retries earned).
+    assert fabric.recorder is not None
+    assert any(d.trigger.startswith("chaos:") for d in fabric.recorder.dumps)
+    assert campaign.outcomes and campaign.outcomes[0].recorder_dump
+
+    # Export the observability record + recorder dumps for CI upload.
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    export_run(fabric.tracer, OUTPUT_DIR, prefix="fig3")
+    for dump in fabric.recorder.dumps:
+        dump.write(os.path.join(
+            OUTPUT_DIR, f"fig3_recorder_{dump.seq:03d}.jsonl"
+        ))
+    assert os.path.getsize(
+        os.path.join(OUTPUT_DIR, "fig3_recorder_001.jsonl")
+    ) > 100

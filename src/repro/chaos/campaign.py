@@ -72,6 +72,7 @@ class ChaosCampaign:
         yield engine.timeout(fault.start_s)
         injected_at = engine.now
         fault.inject(fabric)
+        dump = self._snapshot(fabric, fault)
         if fault.duration_s > 0:
             yield engine.timeout(fault.duration_s)
         fault.revert(fabric)
@@ -82,6 +83,7 @@ class ChaosCampaign:
             injected_at_s=injected_at,
             reverted_at_s=reverted_at,
             detail=self._detail(fault),
+            recorder_dump=dump,
         )
         self.outcomes.append(outcome)
         deadline = engine.now + fault.recovery_timeout_s
@@ -93,6 +95,18 @@ class ChaosCampaign:
                 break
             yield engine.timeout(fault.recovery_poll_s)
         self._observe(fabric, outcome)
+
+    @staticmethod
+    def _snapshot(fabric: "XGFabric", fault: FaultInjection) -> Optional[dict]:
+        """Freeze the fabric's flight recorder at injection time, if wired.
+
+        The dump captures the span/metric context the fault landed in; it
+        rides the :class:`FaultOutcome` into the resilience report.
+        """
+        recorder = getattr(fabric, "recorder", None)
+        if recorder is None:
+            return None
+        return recorder.snapshot(trigger=f"chaos:{fault.name}").to_dict()
 
     @staticmethod
     def _detail(fault: FaultInjection) -> str:

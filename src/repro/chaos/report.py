@@ -36,6 +36,10 @@ class FaultOutcome:
         was before the run (or the recovery timeout) ended.
     detail:
         Injector-specific note (victims killed, windows scheduled...).
+    recorder_dump:
+        The :class:`~repro.obs.recorder.FlightRecorder` snapshot taken at
+        injection time (``RecorderDump.to_dict()``), when the fabric has a
+        recorder wired; the local trace context the incident happened in.
     """
 
     name: str
@@ -44,6 +48,7 @@ class FaultOutcome:
     reverted_at_s: float
     recovered_at_s: Optional[float] = None
     detail: str = ""
+    recorder_dump: Optional[dict] = None
 
     @property
     def recovered(self) -> bool:
@@ -57,7 +62,7 @@ class FaultOutcome:
         return self.recovered_at_s - self.injected_at_s
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "layer": self.layer,
             "injected_at_s": self.injected_at_s,
@@ -66,6 +71,9 @@ class FaultOutcome:
             "recovery_s": self.recovery_s,
             "detail": self.detail,
         }
+        if self.recorder_dump is not None:
+            out["recorder_dump"] = self.recorder_dump
+        return out
 
 
 @dataclass

@@ -26,6 +26,7 @@ from repro.core.e2e import (
     FIG3_STAGES,
     analyze_end_to_end,
     fabric_latency_budget,
+    fig3_slos,
 )
 from repro.core.scenario import Scenario, ScenarioResult
 
@@ -41,6 +42,7 @@ __all__ = [
     "FIG3_STAGES",
     "analyze_end_to_end",
     "fabric_latency_budget",
+    "fig3_slos",
     "Scenario",
     "ScenarioResult",
 ]

@@ -30,6 +30,7 @@ from repro.cfd.perfmodel import CfdPerformanceModel
 from repro.core.fabric import FabricMetrics, XGFabric
 from repro.cspot.paths import TABLE1_ANCHORS
 from repro.obs.critical_path import LatencyBudget, Stage, staged_critical_path
+from repro.obs.slo import SLO
 from repro.obs.trace import Span, mean_duration_sim
 
 
@@ -169,6 +170,38 @@ FIG3_STAGES = [
     Stage("cfd.sim", "CFD solve (64 cores, simulated)", required=True),
     Stage("fabric.notify", "operator notification ND->UNL"),
 ]
+
+
+def fig3_slos(window_s: float = 3600.0) -> list[SLO]:
+    """The section 4.4 budget legs as monitored SLOs.
+
+    Objectives sit comfortably above the healthy operating point (Table 1
+    anchors: ~200 ms UNL->UCSB append, ~92 ms UCSB->ND fetch; ~7 min per
+    64-core solve), so alerts fire on genuine degradation -- a faded
+    radio path, a partitioned repository, a starved queue -- not on
+    nominal jitter. A failed attempt (an ``error`` attribute on the span)
+    is bad regardless of latency: retries burn budget too.
+
+    Pass these to ``XGFabric(slos=fig3_slos(), ...)``; the engine lands on
+    ``fabric.slo_engine``.
+    """
+    return [
+        # Sensor -> edge: the UNL->UCSB telemetry append (2-RTT protocol
+        # over the calibrated 5G+Internet path).
+        SLO("sensor-edge-append", "cspot.append",
+            objective_s=1.0, window_s=window_s, budget=0.05),
+        # Edge -> HPC: ND's fetch of the alert log at UCSB (1 RTT).
+        SLO("edge-hpc-fetch", "cspot.fetch",
+            objective_s=1.0, window_s=window_s, budget=0.10),
+        # Solver leg: dispatch-to-done must stay inside the ~7 min cadence
+        # with headroom inside the 30-min duty cycle.
+        SLO("solver-response", "cfd.sim",
+            objective_s=900.0, window_s=6 * window_s, budget=0.10),
+        # Return leg: CFD summary relayed ND -> UCSB -> UNL to the
+        # operator inbox.
+        SLO("operator-return", "fabric.notify",
+            objective_s=2.0, window_s=window_s, budget=0.10),
+    ]
 
 
 def fabric_latency_budget(fabric: XGFabric) -> LatencyBudget:

@@ -12,7 +12,7 @@ the robot on suspicion.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Generator, Optional
+from typing import Any, Generator, Optional, Sequence
 
 import numpy as np
 
@@ -29,6 +29,9 @@ from repro.hpc.site import HpcSite, QueueLoadGenerator
 from repro.hpc.sites import nd_crc
 from repro.laminar.change_detect import ChangeDetector, build_change_detection_graph
 from repro.laminar.runtime import LaminarRuntime
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SLO, Alert, SLOEngine
+from repro.obs.stream import StreamAggregator
 from repro.obs.trace import NULL_SPAN, NULL_TRACER, Tracer
 from repro.pilot.controller import PilotController
 from repro.pilot.multisite import MultiSitePilotController
@@ -105,6 +108,20 @@ class XGFabric:
         (``NULL_TRACER``); pass ``Tracer()`` to record spans and metrics
         across every layer -- the engine hook, CSPOT appends, Laminar
         fires, pilot decisions, and CFD solves all report through it.
+    slos:
+        Declarative :class:`~repro.obs.slo.SLO` specs (e.g.
+        :func:`~repro.core.e2e.fig3_slos`) evaluated online as spans
+        finish; the engine lands on ``self.slo_engine``. Requires an
+        enabled tracer.
+    recorder:
+        A :class:`~repro.obs.recorder.FlightRecorder` to keep recording
+        the most recent spans/metric deltas in bounded memory. Snapshots
+        fire on SLO breach (when ``slos`` is given) and on chaos fault
+        injection. Requires an enabled tracer.
+    stream:
+        A :class:`~repro.obs.stream.StreamAggregator` fed every span
+        duration and metric observation online (live p50/p95/p99 in
+        O(buckets) memory). Requires an enabled tracer.
     """
 
     def __init__(
@@ -113,6 +130,9 @@ class XGFabric:
         breaches: Optional[BreachSchedule] = None,
         site: Optional[HpcSite] = None,
         tracer: Optional[Tracer] = None,
+        slos: Optional[Sequence[SLO]] = None,
+        recorder: Optional[FlightRecorder] = None,
+        stream: Optional[StreamAggregator] = None,
     ) -> None:
         self.config = config if config is not None else FabricConfig()
         cfg = self.config
@@ -122,6 +142,35 @@ class XGFabric:
             # Single attachment point: the engine clock becomes the span
             # sim-time source and events count into ``sim.events``.
             self.tracer.attach(self.engine)
+        elif slos is not None or recorder is not None or stream is not None:
+            raise ValueError(
+                "slos/recorder/stream need spans to consume: construct the "
+                "fabric with an enabled tracer (tracer=Tracer())"
+            )
+        self.recorder = recorder
+        self.stream = stream
+        self.slo_engine: Optional[SLOEngine] = None
+        if recorder is not None:
+            # Subscribed before the SLO engine so a breach-triggered
+            # snapshot already contains the span that breached.
+            recorder.bind_clock(self.tracer.now_sim)
+            self.tracer.subscribe(recorder)
+            self.tracer.metrics.subscribe(recorder)
+        if stream is not None:
+            stream.bind_clock(self.tracer.now_sim)
+            self.tracer.subscribe(stream)
+            self.tracer.metrics.subscribe(stream)
+        if slos is not None:
+            engine_sink = SLOEngine(list(slos))
+            self.slo_engine = engine_sink
+            self.tracer.subscribe(engine_sink)
+            if recorder is not None:
+                rec = recorder
+
+                def _snapshot_on_breach(alert: Alert) -> None:
+                    rec.snapshot(trigger=f"slo:{alert.slo}/{alert.rule}")
+
+                engine_sink.on_breach(_snapshot_on_breach)
         self.metrics = FabricMetrics()
         self.breaches = breaches if breaches is not None else BreachSchedule()
 

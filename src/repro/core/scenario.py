@@ -17,11 +17,12 @@ severities or seeds varies one field instead of rebuilding plumbing::
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.core.config import FabricConfig
 from repro.core.e2e import E2EReport, analyze_end_to_end
 from repro.core.fabric import FabricMetrics, XGFabric
+from repro.obs.trace import Tracer
 from repro.sensors.breach import BreachEvent
 from repro.sensors.weather import RegimeShift
 
@@ -69,6 +70,12 @@ class Scenario:
     hours: float = 24.0
     seed: int = 0
     config: Optional[FabricConfig] = None
+    #: Builds the tracer for each :meth:`build` (a factory, not an
+    #: instance: a tracer binds to one engine, so multi-seed studies need
+    #: a fresh one per fabric). ``None`` keeps runs untraced, as before.
+    #: e.g. ``tracer_factory=lambda: Tracer(max_spans=50_000)`` for
+    #: bounded retention on long horizons.
+    tracer_factory: Optional[Callable[[], Tracer]] = None
     _shifts: list[RegimeShift] = field(default_factory=list)
     _breaches: list[BreachEvent] = field(default_factory=list)
 
@@ -110,7 +117,10 @@ class Scenario:
 
     def with_seed(self, seed: int) -> "Scenario":
         """A copy with a different seed (for multi-seed studies)."""
-        clone = Scenario(hours=self.hours, seed=seed, config=self.config)
+        clone = Scenario(
+            hours=self.hours, seed=seed, config=self.config,
+            tracer_factory=self.tracer_factory,
+        )
         clone._shifts = list(self._shifts)
         clone._breaches = list(self._breaches)
         return clone
@@ -120,7 +130,10 @@ class Scenario:
     def build(self) -> XGFabric:
         base = self.config if self.config is not None else FabricConfig()
         cfg = replace(base, seed=self.seed)
-        fabric = XGFabric(cfg)
+        tracer = (
+            self.tracer_factory() if self.tracer_factory is not None else None
+        )
+        fabric = XGFabric(cfg, tracer=tracer)
         for shift in self._shifts:
             fabric.weather.add_shift(shift)
         for event in self._breaches:

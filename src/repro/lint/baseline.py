@@ -78,14 +78,26 @@ class Baseline:
             )
         return cls(entries)
 
+    #: Justification stamped on freshly baselined entries unless the
+    #: caller provides one (``--justification`` on the CLI).
+    DEFAULT_JUSTIFICATION = "baselined, needs triage"
+
     @classmethod
-    def from_violations(cls, violations: Iterable[Violation]) -> "Baseline":
+    def from_violations(
+        cls,
+        violations: Iterable[Violation],
+        justification: str | None = None,
+    ) -> "Baseline":
+        note = (
+            justification if justification is not None
+            else cls.DEFAULT_JUSTIFICATION
+        )
         entries = [
             BaselineEntry(
                 code=v.code,
                 fingerprint=v.fingerprint(),
                 path=v.path,
-                justification="TODO: justify or fix",
+                justification=note,
             )
             for v in sorted(set(violations))
         ]

@@ -46,6 +46,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write all current violations to the baseline file and exit 0",
     )
     parser.add_argument(
+        "--justification",
+        metavar="TEXT",
+        help=(
+            "justification comment stamped on entries written by "
+            f"--write-baseline (default: {Baseline.DEFAULT_JUSTIFICATION!r})"
+        ),
+    )
+    parser.add_argument(
         "--no-baseline",
         action="store_true",
         help="report every violation, ignoring the baseline file",
@@ -102,10 +110,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if missing:
         parser.error(f"no such path: {', '.join(str(p) for p in missing)}")
 
+    if args.justification is not None and not args.write_baseline:
+        parser.error("--justification only makes sense with --write-baseline")
+
     violations = lint_paths(args.paths, rules=rules)
 
     if args.write_baseline:
-        Baseline.from_violations(violations).dump(args.baseline)
+        Baseline.from_violations(
+            violations, justification=args.justification
+        ).dump(args.baseline)
         print(
             f"wrote {len(violations)} entr{'y' if len(violations) == 1 else 'ies'} "
             f"to {args.baseline}"

@@ -14,7 +14,17 @@ from the pipeline it actually runs instead of hand-carrying the numbers:
 * :mod:`repro.obs.critical_path` -- longest dependency chains and the
   section 4.4-style :class:`LatencyBudget` table;
 * :mod:`repro.obs.export` -- JSONL and Chrome trace-event (Perfetto)
-  export, deterministic on the simulated clock.
+  export, deterministic on the simulated clock;
+* :mod:`repro.obs.stream` -- online quantile sketches
+  (:class:`QuantileSketch`, mergeable, relative-error-bounded) and
+  windowed rates fed by the ``Tracer.subscribe`` /
+  ``MetricsRegistry.subscribe`` seams via :class:`StreamAggregator`;
+* :mod:`repro.obs.slo` -- declarative :class:`SLO` specs with
+  multi-window burn-rate alerting (:class:`SLOEngine`), evaluated on sim
+  time as spans finish;
+* :mod:`repro.obs.recorder` -- the :class:`FlightRecorder`: an always-on
+  bounded ring of recent spans/metric deltas, frozen into canonical
+  JSONL dumps when an SLO breach or a chaos fault injection triggers it.
 
 One :class:`Tracer` attaches to one engine (``tracer.attach(engine)``,
 riding the engine's ``add_trace_hook`` seam) and is threaded through the
@@ -43,10 +53,21 @@ from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
+    MetricObserver,
     MetricsRegistry,
     Series,
 )
-from repro.obs.trace import NULL_SPAN, NULL_TRACER, Span, Tracer, mean_duration_sim
+from repro.obs.recorder import FlightRecorder, RecorderDump
+from repro.obs.slo import SLO, Alert, BurnRateRule, SLOEngine
+from repro.obs.stream import QuantileSketch, StreamAggregator, WindowedRate
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    SpanSink,
+    Tracer,
+    mean_duration_sim,
+)
 
 __all__ = [
     "Tracer",
@@ -72,4 +93,15 @@ __all__ = [
     "spans_to_chrome_trace",
     "metrics_to_json",
     "export_run",
+    "SpanSink",
+    "MetricObserver",
+    "QuantileSketch",
+    "WindowedRate",
+    "StreamAggregator",
+    "SLO",
+    "SLOEngine",
+    "BurnRateRule",
+    "Alert",
+    "FlightRecorder",
+    "RecorderDump",
 ]

@@ -17,7 +17,8 @@ so tests can assert on bytes without touching the filesystem.
 from __future__ import annotations
 
 import json
-from typing import Iterable, Optional
+import math
+from typing import Any, Iterable, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Span, Tracer
@@ -37,16 +38,33 @@ def _write(text: str, path: Optional[str]) -> str:
     return text
 
 
+def _jsonable_value(value: Any) -> Any:
+    """One attribute value coerced to a JSON-stable primitive.
+
+    Finite numbers and strings pass through; non-finite floats become
+    their ``repr`` (``json.dumps`` would otherwise emit invalid ``NaN``
+    tokens); numpy scalars unwrap through ``.item()`` (``np.int64`` is
+    *not* an ``int`` subclass); everything else becomes its ``repr``.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):  # includes np.float64 (a float subclass)
+        # repr(float(...)) so np.float64(nan) and nan serialize identically.
+        return float(value) if math.isfinite(value) else repr(float(value))
+    item = getattr(value, "item", None)
+    if callable(item) and getattr(value, "shape", None) == ():
+        try:
+            unwrapped = item()
+        except Exception:
+            return repr(value)
+        if unwrapped is None or isinstance(unwrapped, (str, int, bool, float)):
+            return _jsonable_value(unwrapped)
+    return repr(value)
+
+
 def _jsonable_attrs(attrs: dict) -> dict:
     """Attributes coerced to JSON-stable primitives, key-sorted."""
-    out = {}
-    for key in sorted(attrs):
-        value = attrs[key]
-        if isinstance(value, (str, int, float, bool)) or value is None:
-            out[key] = value
-        else:
-            out[key] = repr(value)
-    return out
+    return {key: _jsonable_value(attrs[key]) for key in sorted(attrs)}
 
 
 def spans_to_jsonl(

@@ -9,14 +9,28 @@ simulation run.
 Determinism: label keys are sorted tuples and :meth:`MetricsRegistry.collect`
 emits families and label sets in sorted order, so two identical runs produce
 byte-identical metric snapshots.
+
+Streaming: :meth:`MetricsRegistry.subscribe` registers a
+:class:`MetricObserver` that sees every counter increment, histogram
+observation, and series point as it happens -- the seam the
+:mod:`repro.obs.stream` sketches and the :mod:`repro.obs.recorder` ride.
+The unobserved cost is one truthiness check on the (empty) observer list.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Optional, Protocol
 
 LabelKey = tuple[tuple[str, str], ...]
+
+
+class MetricObserver(Protocol):
+    """An online consumer of metric events (see :meth:`MetricsRegistry.subscribe`)."""
+
+    def on_metric(
+        self, name: str, value: float, labels: dict[str, Any]
+    ) -> None: ...  # pragma: no cover - protocol
 
 
 def _label_key(labels: dict[str, Any]) -> LabelKey:
@@ -31,10 +45,40 @@ class _Family:
 
     kind = "abstract"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        observers: Optional[list[MetricObserver]] = None,
+    ) -> None:
         self.name = name
         self.help = help
         self._data: dict[LabelKey, Any] = {}
+        # Canonical-key memo: label dicts repeat per call site, and the
+        # sort + str() in _label_key would otherwise run on every event.
+        # Bounded by distinct label combinations, like _data itself.
+        self._key_memo: dict[Any, LabelKey] = {}
+        # Shared *reference* to the owning registry's observer list, so
+        # subscriptions made after this family was created still reach it.
+        # Families constructed standalone broadcast to nobody.
+        self._observers: Optional[list[MetricObserver]] = observers
+
+    def _labels_key(self, labels: dict[str, Any]) -> LabelKey:
+        if not labels:
+            return ()
+        try:
+            raw = tuple(labels.items())
+            key = self._key_memo.get(raw)
+            if key is None:
+                key = self._key_memo[raw] = _label_key(labels)
+            return key
+        except TypeError:  # unhashable label value: canonicalize directly
+            return _label_key(labels)
+
+    def _publish(self, value: float, labels: dict[str, Any]) -> None:
+        if self._observers:
+            for observer in self._observers:
+                observer.on_metric(self.name, value, labels)
 
     def label_sets(self) -> list[LabelKey]:
         return sorted(self._data)
@@ -51,8 +95,12 @@ class Counter(_Family):
     def inc(self, amount: float = 1.0, **labels: Any) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r}: negative increment {amount}")
-        key = _label_key(labels)
+        key = self._labels_key(labels)
         self._data[key] = self._data.get(key, 0.0) + amount
+        observers = self._observers
+        if observers:
+            for observer in observers:
+                observer.on_metric(self.name, amount, labels)
 
     def value(self, **labels: Any) -> float:
         return float(self._data.get(_label_key(labels), 0.0))
@@ -127,8 +175,9 @@ class Histogram(_Family):
     def __init__(
         self, name: str, help: str = "",
         buckets: Iterable[float] = DEFAULT_BUCKETS,
+        observers: Optional[list[MetricObserver]] = None,
     ) -> None:
-        super().__init__(name, help)
+        super().__init__(name, help, observers)
         bounds = tuple(float(b) for b in buckets)
         if not bounds:
             raise ValueError(f"histogram {self.name!r}: need at least one bucket")
@@ -137,9 +186,12 @@ class Histogram(_Family):
                 f"histogram {self.name!r}: buckets must be strictly increasing"
             )
         self.buckets = bounds
+        # The object the caller passed, for the registry's identity-based
+        # fast path on the create-or-get seam (call sites reuse one tuple).
+        self._buckets_src = buckets
 
     def observe(self, value: float, **labels: Any) -> None:
-        key = _label_key(labels)
+        key = self._labels_key(labels)
         state = self._data.get(key)
         if state is None:
             state = self._data[key] = _HistogramState(len(self.buckets))
@@ -150,6 +202,10 @@ class Histogram(_Family):
             state.min = value
         if value > state.max:
             state.max = value
+        observers = self._observers
+        if observers:
+            for observer in observers:
+                observer.on_metric(self.name, value, labels)
 
     # -- per-label-set accessors ----------------------------------------------
 
@@ -215,21 +271,27 @@ class Series(_Family):
     kind = "series"
 
     def __init__(
-        self, name: str, help: str = "", maxlen: Optional[int] = None
+        self, name: str, help: str = "", maxlen: Optional[int] = None,
+        observers: Optional[list[MetricObserver]] = None,
     ) -> None:
-        super().__init__(name, help)
+        super().__init__(name, help, observers)
         if maxlen is not None and maxlen < 1:
             raise ValueError(f"series {self.name!r}: maxlen must be >= 1")
         self.maxlen = maxlen
 
     def append(self, t: float, value: float, **labels: Any) -> None:
-        key = _label_key(labels)
+        key = self._labels_key(labels)
         points = self._data.get(key)
         if points is None:
             points = self._data[key] = []
         points.append((float(t), float(value)))
         if self.maxlen is not None and len(points) > self.maxlen:
             del points[: len(points) - self.maxlen]
+        observers = self._observers
+        if observers:
+            value = float(value)
+            for observer in observers:
+                observer.on_metric(self.name, value, labels)
 
     def points(self, **labels: Any) -> list[tuple[float, float]]:
         return list(self._data.get(_label_key(labels), ()))
@@ -251,39 +313,76 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._families: dict[str, _Family] = {}
+        self._observers: list[MetricObserver] = []
 
-    def _get(self, name: str, kind: type, factory) -> Any:
-        fam = self._families.get(name)
-        if fam is None:
-            fam = self._families[name] = factory()
-        elif not isinstance(fam, kind):
-            raise TypeError(
-                f"metric {name!r} already registered as {fam.kind}, "
-                f"not {kind.kind}"
-            )
-        return fam
+    def subscribe(self, observer: MetricObserver) -> MetricObserver:
+        """Register an online consumer of metric events.
+
+        ``observer.on_metric(name, value, labels)`` fires on every
+        counter increment, histogram observation, and series point, in
+        the order instrumentation emits them (deterministic under the
+        sim clock). Observers must not write metrics back into this
+        registry.
+        """
+        self._observers.append(observer)
+        return observer
+
+    @staticmethod
+    def _kind_error(name: str, fam: _Family, kind: type) -> TypeError:
+        return TypeError(
+            f"metric {name!r} already registered as {fam.kind}, "
+            f"not {kind.kind}"
+        )
 
     def counter(self, name: str, help: str = "") -> Counter:
-        return self._get(name, Counter, lambda: Counter(name, help))
+        fam = self._families.get(name)
+        if fam is None:
+            fam = self._families[name] = Counter(name, help, self._observers)
+        elif not isinstance(fam, Counter):
+            raise self._kind_error(name, fam, Counter)
+        return fam
 
     def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get(name, Gauge, lambda: Gauge(name, help))
+        fam = self._families.get(name)
+        if fam is None:
+            fam = self._families[name] = Gauge(name, help)
+        elif not isinstance(fam, Gauge):
+            raise self._kind_error(name, fam, Gauge)
+        return fam
 
     def histogram(
         self, name: str, help: str = "",
         buckets: Iterable[float] = DEFAULT_BUCKETS,
     ) -> Histogram:
-        hist = self._get(name, Histogram, lambda: Histogram(name, help, buckets))
-        if hist.buckets != tuple(float(b) for b in buckets):
+        fam = self._families.get(name)
+        if fam is None:
+            fam = self._families[name] = Histogram(
+                name, help, buckets, self._observers
+            )
+            return fam
+        if not isinstance(fam, Histogram):
+            raise self._kind_error(name, fam, Histogram)
+        # Identity first: instrument seams pass the same bucket tuple on
+        # every call, so the per-element comparison runs once per family.
+        if buckets is not fam._buckets_src and (
+            fam.buckets != tuple(float(b) for b in buckets)
+        ):
             raise ValueError(
                 f"histogram {name!r} already registered with different buckets"
             )
-        return hist
+        return fam
 
     def series(
         self, name: str, help: str = "", maxlen: Optional[int] = None
     ) -> Series:
-        return self._get(name, Series, lambda: Series(name, help, maxlen))
+        fam = self._families.get(name)
+        if fam is None:
+            fam = self._families[name] = Series(
+                name, help, maxlen, self._observers
+            )
+        elif not isinstance(fam, Series):
+            raise self._kind_error(name, fam, Series)
+        return fam
 
     def names(self) -> list[str]:
         return sorted(self._families)

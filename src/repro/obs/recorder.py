@@ -1,0 +1,231 @@
+"""Flight recorder: always-on bounded capture, dumped on trigger.
+
+Long-horizon runs cannot keep every span (O(run length) memory), but the
+spans you need most are the ones *just before* something broke. The
+flight recorder resolves the tension the way avionics do: a fixed-size
+ring of the most recent spans and metric deltas is always recording at
+negligible cost, and a **trigger** -- an SLO burn-rate breach
+(:meth:`~repro.obs.slo.SLOEngine.on_breach`) or a :mod:`repro.chaos`
+fault injection -- freezes the ring into an immutable
+:class:`RecorderDump` holding the local trace context of the incident.
+
+Dumps are canonical: sim-time fields only (wall stamps vary run to run),
+sorted keys, compact separators -- two same-seed runs triggered at the
+same sim instants produce **byte-identical** JSONL dumps, which is how
+``tests/chaos`` pins them and how ``ResilienceReport`` can embed them.
+
+Memory is fixed: the ring holds references to spans the tracer already
+created (zero per-span allocation on the hot path); serialization cost
+is paid only at snapshot time.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.obs.export import _jsonable_attrs
+from repro.obs.trace import Span
+
+#: Default ring capacities: enough context around an incident without
+#: rivaling the full span record.
+DEFAULT_SPAN_CAPACITY = 512
+DEFAULT_METRIC_CAPACITY = 2048
+
+
+def _span_record(span: Span) -> dict[str, Any]:
+    """Sim-time-only canonical view of one span (no wall stamps)."""
+    return {
+        "span_id": span.span_id,
+        "name": span.name,
+        "category": span.category,
+        "parent_id": span.parent_id,
+        "cause_id": span.cause_id,
+        "start_sim": span.start_sim,
+        "end_sim": span.end_sim,
+        "attrs": _jsonable_attrs(span.attrs),
+    }
+
+
+@dataclass(frozen=True)
+class RecorderDump:
+    """One frozen snapshot of the recorder rings.
+
+    ``seq`` is the snapshot's ordinal within the run (deterministic);
+    ``trigger`` names the cause (``"chaos:<fault>"``, ``"slo:<name>/<rule>"``,
+    or ``"manual"``); ``t`` is the sim time of the trigger.
+    """
+
+    seq: int
+    trigger: str
+    t: float
+    spans: tuple[dict[str, Any], ...]
+    metrics: tuple[dict[str, Any], ...]
+    spans_seen: int
+    metrics_seen: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "trigger": self.trigger,
+            "t": self.t,
+            "spans_seen": self.spans_seen,
+            "metrics_seen": self.metrics_seen,
+            "spans": list(self.spans),
+            "metrics": list(self.metrics),
+        }
+
+    def to_jsonl(self) -> str:
+        """Canonical JSONL: a header line, then one line per span, then
+        one line per metric delta (oldest first)."""
+        header = {
+            "record": "header",
+            "seq": self.seq,
+            "trigger": self.trigger,
+            "t": self.t,
+            "spans": len(self.spans),
+            "metrics": len(self.metrics),
+            "spans_seen": self.spans_seen,
+            "metrics_seen": self.metrics_seen,
+        }
+        lines = [json.dumps(header, sort_keys=True, separators=(",", ":"))]
+        for span in self.spans:
+            lines.append(json.dumps(
+                {"record": "span", **span},
+                sort_keys=True, separators=(",", ":"),
+            ))
+        for metric in self.metrics:
+            lines.append(json.dumps(
+                {"record": "metric", **metric},
+                sort_keys=True, separators=(",", ":"),
+            ))
+        return "\n".join(lines) + "\n"
+
+    def write(self, path: Any) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+
+
+class FlightRecorder:
+    """Bounded always-on ring of recent spans and metric deltas.
+
+    Implements both sink protocols -- subscribe one recorder to the
+    tracer (``tracer.subscribe(recorder)``) *and* its registry
+    (``tracer.metrics.subscribe(recorder)``); bind the sim clock with
+    ``recorder.bind_clock(tracer.now_sim)`` so metric deltas (which
+    carry no timestamp of their own) are stamped in sim time.
+
+    :meth:`snapshot` freezes the rings into a :class:`RecorderDump`
+    (appended to :attr:`dumps`); the rings keep recording afterwards.
+    """
+
+    def __init__(
+        self,
+        span_capacity: int = DEFAULT_SPAN_CAPACITY,
+        metric_capacity: int = DEFAULT_METRIC_CAPACITY,
+        clock: Optional[Callable[[], float]] = None,
+        include_wall_metrics: bool = False,
+    ) -> None:
+        if span_capacity < 1:
+            raise ValueError(f"span_capacity must be >= 1: {span_capacity}")
+        if metric_capacity < 1:
+            raise ValueError(f"metric_capacity must be >= 1: {metric_capacity}")
+        self.span_capacity = span_capacity
+        self.metric_capacity = metric_capacity
+        self._clock = clock
+        # Wall-clock observations (families named "*wall*") vary run to
+        # run by definition; recording them would break the byte-identity
+        # of same-seed dumps, so they are dropped unless asked for.
+        self.include_wall_metrics = include_wall_metrics
+        # Span *references* -- the tracer owns the objects; serialization
+        # is deferred to snapshot time so the hot path allocates nothing.
+        self._spans: deque[Span] = deque(maxlen=span_capacity)
+        # (t, name, value, canonical-label-items) tuples.
+        self._metrics: deque[tuple[float, str, float, tuple[tuple[str, str], ...]]]
+        self._metrics = deque(maxlen=metric_capacity)
+        # Per-family keep/drop verdicts ("wall" filter), cached by name.
+        self._name_kept: dict[str, bool] = {}
+        # Canonical-label memo: label dicts repeat per call site; sorting
+        # and str()-ing them on every event would dominate the ring append.
+        self._label_memo: dict[Any, tuple[tuple[str, str], ...]] = {}
+        self.spans_seen = 0
+        self.metrics_seen = 0
+        self.dumps: list[RecorderDump] = []
+
+    def bind_clock(self, clock: Callable[[], float]) -> "FlightRecorder":
+        """Set the sim-time source used to stamp metric deltas."""
+        self._clock = clock
+        return self
+
+    def _now(self) -> float:
+        return self._clock() if self._clock is not None else 0.0
+
+    # -- sink protocols -----------------------------------------------------------
+
+    def on_span(self, span: Span) -> None:
+        self.spans_seen += 1
+        self._spans.append(span)
+
+    def on_metric(self, name: str, value: float, labels: dict[str, Any]) -> None:
+        kept = self._name_kept.get(name)
+        if kept is None:
+            kept = self.include_wall_metrics or "wall" not in name
+            self._name_kept[name] = kept
+        if not kept:
+            return
+        self.metrics_seen += 1
+        key: tuple[tuple[str, str], ...] = ()
+        if labels:
+            try:
+                raw = tuple(labels.items())
+                cached = self._label_memo.get(raw)
+                if cached is None:
+                    cached = self._label_memo[raw] = tuple(
+                        sorted((k, str(v)) for k, v in labels.items())
+                    )
+                key = cached
+            except TypeError:  # unhashable label value
+                key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        clock = self._clock
+        self._metrics.append(
+            (clock() if clock is not None else 0.0, name, float(value), key)
+        )
+
+    # -- triggering ---------------------------------------------------------------
+
+    def snapshot(self, trigger: str = "manual") -> RecorderDump:
+        """Freeze the rings into an immutable dump (and keep recording)."""
+        dump = RecorderDump(
+            seq=len(self.dumps) + 1,
+            trigger=trigger,
+            t=self._now(),
+            spans=tuple(_span_record(s) for s in self._spans),
+            metrics=tuple(
+                {"t": t, "name": name, "value": value, "labels": dict(key)}
+                for t, name, value, key in self._metrics
+            ),
+            spans_seen=self.spans_seen,
+            metrics_seen=self.metrics_seen,
+        )
+        self.dumps.append(dump)
+        return dump
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FlightRecorder(spans={len(self._spans)}/{self.span_capacity}, "
+            f"metrics={len(self._metrics)}/{self.metric_capacity}, "
+            f"dumps={len(self.dumps)})"
+        )
+
+
+__all__ = [
+    "DEFAULT_METRIC_CAPACITY",
+    "DEFAULT_SPAN_CAPACITY",
+    "FlightRecorder",
+    "RecorderDump",
+]

@@ -26,17 +26,33 @@ Design constraints, in priority order:
    hundreds of concurrent processes, so "current span" context would lie.
    Parents and causal predecessors (``cause=``) are passed explicitly;
    :mod:`repro.obs.critical_path` walks the ``cause`` links.
+4. **Telemetry can stream.** ``Tracer.subscribe(sink)`` registers a
+   :class:`SpanSink` that receives every span the moment it finishes, so
+   online consumers (:mod:`repro.obs.stream` sketches,
+   :mod:`repro.obs.slo` monitors, the :mod:`repro.obs.recorder` ring)
+   aggregate during the run instead of post-processing the span list.
+5. **Retention can be bounded.** ``Tracer(max_spans=N)`` keeps only the
+   most recent ``N`` spans (a ring), for long-horizon runs where the
+   O(spans) record would grow without bound; streaming sinks still see
+   every span, and ``spans_dropped`` accounts for the evictions.
 """
 
 from __future__ import annotations
 
 import time
-from typing import TYPE_CHECKING, Any, Iterable, Optional
+from collections import deque
+from typing import TYPE_CHECKING, Any, Iterable, MutableSequence, Optional, Protocol
 
 from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.simkernel.engine import Engine
+
+
+class SpanSink(Protocol):
+    """An online consumer of finished spans (see :meth:`Tracer.subscribe`)."""
+
+    def on_span(self, span: "Span") -> None: ...  # pragma: no cover - protocol
 
 
 class Span:
@@ -84,6 +100,7 @@ class Span:
         if self.end_sim is None:
             self.end_sim = self._tracer.now_sim()
             self.end_wall = time.perf_counter()
+            self._tracer._emit(self)
         return self
 
     def annotate(self, **attrs: Any) -> "Span":
@@ -182,19 +199,34 @@ class Tracer:
         The :class:`~repro.obs.metrics.MetricsRegistry` instrumented code
         reaches through ``tracer.metrics`` (a fresh registry by default),
         so one object carries the whole observability surface.
+    max_spans:
+        When set, retained spans are a ring of the ``max_spans`` most
+        recent (bounded memory for long-horizon runs); older spans are
+        evicted in creation order and counted in ``spans_dropped``.
+        Subscribed sinks still observe every span, so streaming
+        aggregates stay exact while the in-memory record is a window.
+        Default ``None`` keeps the historical keep-everything list.
     """
 
     def __init__(
         self,
         enabled: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        max_spans: Optional[int] = None,
     ) -> None:
+        if max_spans is not None and max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1: {max_spans}")
         self.enabled = enabled
         self.metrics = metrics if metrics is not None else MetricsRegistry()
-        self.spans: list[Span] = []
+        self.max_spans = max_spans
+        self.spans: MutableSequence[Span] = (
+            deque(maxlen=max_spans) if max_spans is not None else []
+        )
+        self.spans_dropped = 0
         self.events_observed = 0
         self._engine: Optional["Engine"] = None
         self._next_id = 1
+        self._sinks: list[SpanSink] = []
 
     # -- clock / engine attachment ----------------------------------------------
 
@@ -212,10 +244,17 @@ class Tracer:
             counter = self.metrics.counter(
                 "sim.events", help="events processed by the attached engine"
             )
+            # This hook runs once per engine event -- the hottest path in
+            # the whole simulation. Bump the counter cell directly instead
+            # of inc(): collect() output is identical, but the per-event
+            # observer broadcast (sketch folds, recorder ring) is skipped
+            # -- a constant-1.0 stream carries no information worth the
+            # fan-out cost. events_observed remains the live count.
+            data = counter._data
 
             def _on_event(now: float, event: object) -> None:
                 self.events_observed += 1
-                counter.inc()
+                data[()] = data.get((), 0.0) + 1.0
 
             engine.add_trace_hook(_on_event)
         return self
@@ -223,6 +262,30 @@ class Tracer:
     def now_sim(self) -> float:
         """Current simulated time (0.0 when no engine is attached)."""
         return self._engine.now if self._engine is not None else 0.0
+
+    # -- streaming subscription --------------------------------------------------
+
+    def subscribe(self, sink: SpanSink) -> SpanSink:
+        """Register an online consumer of finished spans.
+
+        ``sink.on_span(span)`` is called exactly once per span, at the
+        instant it finishes (``end()`` or :meth:`record`), in finish
+        order -- the deterministic event order of the simulation. Sinks
+        must not create spans or mutate the tracer (that would make the
+        record depend on who is watching it). Subscribing to a disabled
+        tracer is a programming error: nothing would ever flow.
+        """
+        if not self.enabled:
+            raise ValueError(
+                "cannot subscribe to a disabled tracer: no spans will flow "
+                "(construct the fabric with tracer=Tracer())"
+            )
+        self._sinks.append(sink)
+        return sink
+
+    def _emit(self, span: Span) -> None:
+        for sink in self._sinks:
+            sink.on_span(span)
 
     # -- span creation -----------------------------------------------------------
 
@@ -250,6 +313,11 @@ class Tracer:
             attrs,
         )
         self._next_id += 1
+        if (
+            self.max_spans is not None
+            and len(self.spans) >= self.max_spans
+        ):
+            self.spans_dropped += 1  # the deque evicts the oldest span
         self.spans.append(span)
         return span
 
@@ -281,9 +349,15 @@ class Tracer:
         span.start_sim = start_sim
         span.end_sim = end_sim
         span.end_wall = span.start_wall
+        self._emit(span)
         return span
 
     # -- queries -----------------------------------------------------------------
+
+    @property
+    def spans_created(self) -> int:
+        """Spans ever created (retained + ring-evicted)."""
+        return self._next_id - 1
 
     def finished_spans(self) -> list[Span]:
         """All finished spans, ordered by (start_sim, span_id)."""
@@ -307,6 +381,7 @@ class Tracer:
     def clear(self) -> None:
         """Drop all recorded spans (metrics are left alone)."""
         self.spans.clear()
+        self.spans_dropped = 0
 
 
 #: The canonical disabled tracer: default for every instrumented component.

@@ -130,3 +130,72 @@ class TestDisabledCampaignIsInvisible:
             spans_to_jsonl(fab.tracer.finished_spans(), include_wall=False)
             != baseline_jsonl
         )
+
+
+class TestStreamingStackDeterminism:
+    """The full streaming telemetry stack under chaos: same seed ->
+    byte-identical SLO alert timelines and flight-recorder dumps, and
+    every injected fault carries at least one dump in the report."""
+
+    @staticmethod
+    def streaming_campaign_run(seed=3):
+        from repro.core import fig3_slos
+        from repro.obs import FlightRecorder, StreamAggregator
+
+        fab = XGFabric(
+            FabricConfig(seed=seed, policies=RESILIENT_POLICIES),
+            tracer=Tracer(),
+            slos=fig3_slos(),
+            recorder=FlightRecorder(),
+            stream=StreamAggregator(),
+        )
+        fab.weather.add_shift(
+            RegimeShift(at_time_s=2 * 3600.0, wind_delta_mps=2.5,
+                        temperature_delta_k=-3.0)
+        )
+        rep = run_campaign(fab, standard_campaign(DURATION_S), DURATION_S)
+        return fab, rep
+
+    @pytest.fixture(scope="class")
+    def two_streaming_runs(self):
+        return self.streaming_campaign_run(), self.streaming_campaign_run()
+
+    def test_slo_timelines_byte_identical(self, two_streaming_runs):
+        (f1, _), (f2, _) = two_streaming_runs
+        assert f1.slo_engine.timeline()  # chaos must provoke alerts
+        assert f1.slo_engine.timeline_json() == f2.slo_engine.timeline_json()
+
+    def test_recorder_dumps_byte_identical(self, two_streaming_runs):
+        (f1, _), (f2, _) = two_streaming_runs
+        assert f1.recorder.dumps  # chaos must provoke dumps
+        d1 = [d.to_jsonl() for d in f1.recorder.dumps]
+        d2 = [d.to_jsonl() for d in f2.recorder.dumps]
+        assert d1 == d2
+
+    def test_stream_sketches_byte_identical(self, two_streaming_runs):
+        (f1, _), (f2, _) = two_streaming_runs
+        assert f1.stream.to_json() == f2.stream.to_json()
+
+    def test_every_fault_carries_a_dump(self, two_streaming_runs):
+        (_, rep), _ = two_streaming_runs
+        assert rep.faults
+        for outcome in rep.faults:
+            dump = outcome.recorder_dump
+            assert dump is not None, f"{outcome.name} has no recorder dump"
+            assert dump["trigger"] == f"chaos:{outcome.name}"
+            assert dump["spans"], f"{outcome.name} dump captured no spans"
+
+    def test_dumps_embed_in_report_json(self, two_streaming_runs):
+        (_, r1), (_, r2) = two_streaming_runs
+        assert '"recorder_dump"' in r1.to_json()
+        assert r1.to_json() == r2.to_json()
+
+    def test_chaos_and_slo_triggers_interleave(self, two_streaming_runs):
+        (f1, _), _ = two_streaming_runs
+        triggers = [d.trigger for d in f1.recorder.dumps]
+        assert any(t.startswith("chaos:") for t in triggers)
+        assert any(t.startswith("slo:") for t in triggers)
+        # seq numbers are the run's deterministic dump ordinals.
+        assert [d.seq for d in f1.recorder.dumps] == list(
+            range(1, len(triggers) + 1)
+        )

@@ -97,6 +97,33 @@ class TestBaselineWorkflow:
         assert main(["src", "--statistics", "--no-baseline"]) == 1
         assert "REPRO101: 1" in capsys.readouterr().out
 
+    def test_default_justification_stamped(self, tmp_path, monkeypatch):
+        from repro.lint.baseline import Baseline
+
+        _write(tmp_path, "dirty.py", DIRTY)
+        monkeypatch.chdir(tmp_path)
+        assert main(["src", "--write-baseline"]) == 0
+        text = (tmp_path / "repro-lint.baseline").read_text()
+        assert Baseline.DEFAULT_JUSTIFICATION in text
+        assert "TODO" not in text
+
+    def test_custom_justification_flag(self, tmp_path, monkeypatch):
+        _write(tmp_path, "dirty.py", DIRTY)
+        monkeypatch.chdir(tmp_path)
+        assert main([
+            "src", "--write-baseline",
+            "--justification", "legacy probe, tracked in #42",
+        ]) == 0
+        text = (tmp_path / "repro-lint.baseline").read_text()
+        assert "legacy probe, tracked in #42" in text
+
+    def test_justification_requires_write_baseline(self, tmp_path, monkeypatch):
+        _write(tmp_path, "clean.py", CLEAN)
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["src", "--justification", "x"])
+        assert excinfo.value.code == 2
+
 
 class TestFixtureExclusion:
     def test_fixture_corpus_never_scanned(self, monkeypatch, capsys):

@@ -113,3 +113,76 @@ class TestExportRun:
         trace = json.load(open(paths["trace"], encoding="utf-8"))
         assert trace["otherData"]["producer"] == "repro.obs"
         json.load(open(paths["metrics"], encoding="utf-8"))
+
+
+class TestJsonableAttrs:
+    """The attr coercion seam: everything must land JSON-serializable."""
+
+    def roundtrip(self, **attrs):
+        tr = Tracer()
+        tr.record("op", 0.0, 1.0, attrs=attrs)
+        return json.loads(spans_to_jsonl(tr.spans))["attrs"]
+
+    def test_primitives_pass_through(self):
+        attrs = self.roundtrip(s="x", i=3, f=1.5, b=True, n=None)
+        assert attrs == {"s": "x", "i": 3, "f": 1.5, "b": True, "n": None}
+
+    def test_numpy_scalars_unwrap_to_python(self):
+        import numpy as np
+        attrs = self.roundtrip(
+            i64=np.int64(7), f32=np.float32(0.5), b=np.bool_(True),
+        )
+        assert attrs["i64"] == 7 and isinstance(attrs["i64"], int)
+        assert attrs["f32"] == 0.5 and isinstance(attrs["f32"], float)
+        assert attrs["b"] in (True, 1)
+
+    def test_nonfinite_floats_become_repr_strings(self):
+        attrs = self.roundtrip(
+            nan=float("nan"), inf=float("inf"), ninf=float("-inf"),
+        )
+        # json.dumps would emit invalid JSON (NaN/Infinity) otherwise.
+        assert attrs["nan"] == "nan"
+        assert attrs["inf"] == "inf"
+        assert attrs["ninf"] == "-inf"
+
+    def test_nonfinite_numpy_scalars_become_repr_strings(self):
+        import numpy as np
+        attrs = self.roundtrip(x=np.float64("nan"), y=np.float32("inf"))
+        assert attrs["x"] == "nan"
+        assert attrs["y"] == "inf"
+
+    def test_arbitrary_objects_coerced_to_repr(self):
+        class Widget:
+            def __repr__(self):
+                return "Widget<3>"
+
+        attrs = self.roundtrip(w=Widget(), t=(1, 2))
+        assert attrs["w"] == "Widget<3>"
+        assert attrs["t"] == "(1, 2)"
+
+    def test_nonscalar_numpy_array_coerced_to_repr(self):
+        import numpy as np
+        attrs = self.roundtrip(a=np.array([1.0, 2.0]))
+        assert isinstance(attrs["a"], str) and "1." in attrs["a"]
+
+    def test_keys_sorted_deterministically(self):
+        attrs = self.roundtrip(zebra=1, alpha=2, mid=3)
+        assert list(attrs) == ["alpha", "mid", "zebra"]
+
+
+class TestZeroDurationSpans:
+    def test_chrome_trace_keeps_zero_duration_events(self):
+        tr = Tracer()
+        tr.record("instant", 5.0, 5.0)
+        tr.record("normal", 5.0, 6.0)
+        doc = json.loads(spans_to_chrome_trace(tr.spans))
+        by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert by_name["instant"]["dur"] == 0.0
+        assert by_name["instant"]["ts"] == 5.0 * 1e6
+        assert by_name["normal"]["dur"] == 1.0 * 1e6
+
+    def test_jsonl_zero_duration(self):
+        tr = Tracer()
+        tr.record("instant", 2.0, 2.0)
+        record = json.loads(spans_to_jsonl(tr.spans))
+        assert record["start_sim_s"] == record["end_sim_s"] == 2.0

@@ -1,0 +1,159 @@
+"""Flight recorder: ring bounds, canonical dumps, triggers, wall filter."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    FlightRecorder,
+    SLO,
+    SLOEngine,
+    Tracer,
+)
+
+
+def traced_recorder(**kwargs):
+    tracer = Tracer()
+    recorder = FlightRecorder(**kwargs).bind_clock(tracer.now_sim)
+    tracer.subscribe(recorder)
+    tracer.metrics.subscribe(recorder)
+    return tracer, recorder
+
+
+class TestRingBounds:
+    def test_span_ring_is_bounded(self):
+        tracer, recorder = traced_recorder(span_capacity=16)
+        for i in range(100):
+            tracer.record("s", float(i), float(i) + 0.1)
+        assert len(recorder) == 16
+        assert recorder.spans_seen == 100
+        dump = recorder.snapshot()
+        assert len(dump.spans) == 16
+        # The ring keeps the most recent spans, oldest first.
+        assert [s["start_sim"] for s in dump.spans] == [float(i) for i in range(84, 100)]
+
+    def test_metric_ring_is_bounded(self):
+        tracer, recorder = traced_recorder(metric_capacity=8)
+        counter = tracer.metrics.counter("events")
+        for _ in range(50):
+            counter.inc()
+        assert recorder.metrics_seen == 50
+        assert len(recorder.snapshot().metrics) == 8
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="span_capacity"):
+            FlightRecorder(span_capacity=0)
+        with pytest.raises(ValueError, match="metric_capacity"):
+            FlightRecorder(metric_capacity=0)
+
+    def test_recording_continues_after_snapshot(self):
+        tracer, recorder = traced_recorder()
+        tracer.record("a", 0.0, 1.0)
+        first = recorder.snapshot()
+        tracer.record("b", 1.0, 2.0)
+        second = recorder.snapshot()
+        assert len(first.spans) == 1
+        assert len(second.spans) == 2
+        assert [d.seq for d in recorder.dumps] == [1, 2]
+
+
+class TestWallMetricFilter:
+    def test_wall_metrics_dropped_by_default(self):
+        tracer, recorder = traced_recorder()
+        tracer.metrics.series("cfd.solve_wall_s").append(0.0, 0.123)
+        tracer.metrics.counter("cfd.solves").inc()
+        dump = recorder.snapshot()
+        names = {m["name"] for m in dump.metrics}
+        assert names == {"cfd.solves"}
+        assert recorder.metrics_seen == 1
+
+    def test_wall_metrics_kept_when_opted_in(self):
+        tracer, recorder = traced_recorder(include_wall_metrics=True)
+        tracer.metrics.series("cfd.solve_wall_s").append(0.0, 0.123)
+        names = {m["name"] for m in recorder.snapshot().metrics}
+        assert "cfd.solve_wall_s" in names
+
+
+class TestDumpCanonicality:
+    def build_dump(self):
+        tracer, recorder = traced_recorder()
+        with tracer.span("outer", category="pipeline") as outer:
+            tracer.record("inner", 0.0, 0.5, parent=outer,
+                          attrs={"seqno": 7})
+        tracer.metrics.counter("msgs").inc(3.0, src="unl")
+        return recorder.snapshot(trigger="chaos:test-fault")
+
+    def test_jsonl_structure(self):
+        dump = self.build_dump()
+        lines = dump.to_jsonl().strip().split("\n")
+        header = json.loads(lines[0])
+        assert header["record"] == "header"
+        assert header["trigger"] == "chaos:test-fault"
+        assert header["spans"] == len(dump.spans)
+        kinds = [json.loads(line)["record"] for line in lines[1:]]
+        assert set(kinds) <= {"span", "metric"}
+        assert len(lines) == 1 + len(dump.spans) + len(dump.metrics)
+
+    def test_dump_is_sim_time_only(self):
+        dump = self.build_dump()
+        text = dump.to_jsonl()
+        assert "wall" not in text
+        for span in dump.spans:
+            assert set(span) == {"span_id", "name", "category", "parent_id",
+                                 "cause_id", "start_sim", "end_sim", "attrs"}
+
+    def test_jsonl_is_compact_and_sorted(self):
+        line = self.build_dump().to_jsonl().split("\n")[0]
+        assert ": " not in line and ", " not in line
+        keys = list(json.loads(line))
+        assert keys == sorted(keys)
+
+    def test_byte_identical_across_identical_runs(self):
+        assert self.build_dump().to_jsonl() == self.build_dump().to_jsonl()
+
+    def test_write_round_trips(self, tmp_path):
+        dump = self.build_dump()
+        path = tmp_path / "dump.jsonl"
+        dump.write(path)
+        assert path.read_text() == dump.to_jsonl()
+
+    def test_to_dict_embeds_in_json(self):
+        payload = json.dumps(self.build_dump().to_dict(), sort_keys=True)
+        assert json.loads(payload)["trigger"] == "chaos:test-fault"
+
+
+class TestTriggers:
+    def test_slo_breach_triggers_snapshot(self):
+        tracer = Tracer()
+        recorder = FlightRecorder().bind_clock(tracer.now_sim)
+        tracer.subscribe(recorder)
+        engine = tracer.subscribe(SLOEngine([
+            SLO("append", "cspot.append", objective_s=0.25, budget=0.05),
+        ]))
+        engine.on_breach(
+            lambda alert: recorder.snapshot(f"slo:{alert.slo}/{alert.rule}")
+        )
+        for i in range(10):
+            tracer.record("cspot.append", i * 1.0, i * 1.0 + 2.0)
+        assert recorder.dumps, "breach should have snapshotted"
+        dump = recorder.dumps[0]
+        assert dump.trigger.startswith("slo:append/")
+        # The breaching span is in the dump: recorder subscribed first.
+        assert any(s["name"] == "cspot.append" for s in dump.spans)
+
+    def test_manual_trigger_default(self):
+        _, recorder = traced_recorder()
+        assert recorder.snapshot().trigger == "manual"
+
+    def test_clock_stamps_trigger_time(self):
+        now = {"t": 0.0}
+        recorder = FlightRecorder().bind_clock(lambda: now["t"])
+        now["t"] = 1234.5
+        assert recorder.snapshot().t == 1234.5
+
+    def test_unbound_clock_defaults_to_zero(self):
+        recorder = FlightRecorder()
+        recorder.on_metric("m", 1.0, {})
+        dump = recorder.snapshot()
+        assert dump.t == 0.0
+        assert dump.metrics[0]["t"] == 0.0

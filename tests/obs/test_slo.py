@@ -1,0 +1,214 @@
+"""SLO burn-rate engine: fire/resolve semantics, validation, determinism."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SLO,
+    BurnRateRule,
+    SLOEngine,
+    Tracer,
+)
+from repro.obs.slo import FAST_BURN_FACTOR, FAST_BURN_WINDOW_S
+
+
+def make_slo(**overrides):
+    spec = dict(
+        name="append-latency",
+        span_name="cspot.append",
+        objective_s=0.25,
+        window_s=3600.0,
+        budget=0.05,
+    )
+    spec.update(overrides)
+    return SLO(**spec)
+
+
+class Feeder:
+    """Drives an engine through a synthetic span stream on one tracer."""
+
+    def __init__(self, *slos):
+        self.tracer = Tracer()
+        self.engine = self.tracer.subscribe(SLOEngine(list(slos)))
+
+    def span(self, t, duration, name="cspot.append", **attrs):
+        self.tracer.record(name, t, t + duration, attrs=attrs or None)
+        return self.engine
+
+
+class TestValidation:
+    def test_objective_must_be_positive(self):
+        with pytest.raises(ValueError, match="objective_s"):
+            make_slo(objective_s=0.0)
+
+    def test_budget_must_be_fractional(self):
+        with pytest.raises(ValueError, match="budget"):
+            make_slo(budget=0.0)
+        with pytest.raises(ValueError, match="budget"):
+            make_slo(budget=1.0)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError, match="window_s"):
+            make_slo(window_s=0.0)
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError, match="factor"):
+            BurnRateRule("r", factor=0.0, window_s=60.0)
+        with pytest.raises(ValueError, match="window_s"):
+            BurnRateRule("r", factor=1.0, window_s=-1.0)
+        # window_s=0 is the inherit-the-SLO-window sentinel, not an error.
+        BurnRateRule("r", factor=1.0, window_s=0.0)
+
+    def test_duplicate_slo_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEngine([make_slo(), make_slo()])
+
+    def test_default_rules_are_fast_and_slow(self):
+        slo = make_slo()
+        assert [r.name for r in slo.rules] == ["fast", "slow"]
+        fast = slo.rules[0]
+        assert fast.factor == FAST_BURN_FACTOR
+        assert fast.window_s == FAST_BURN_WINDOW_S
+        assert slo.rules[1].window_s == 0.0  # inherits window_s=3600
+
+
+class TestBadness:
+    def test_slow_span_is_bad(self):
+        tracer = Tracer()
+        slo = make_slo()
+        tracer.record("cspot.append", 0.0, 1.0)
+        assert slo.is_bad(tracer.spans[0])
+
+    def test_fast_span_is_good(self):
+        tracer = Tracer()
+        tracer.record("cspot.append", 0.0, 0.1)
+        assert not make_slo().is_bad(tracer.spans[0])
+
+    def test_error_attr_is_bad_even_when_fast(self):
+        tracer = Tracer()
+        tracer.record("cspot.append", 0.0, 0.01, attrs={"error": "partition"})
+        assert make_slo().is_bad(tracer.spans[0])
+
+
+class TestBurnRateAlerting:
+    def test_healthy_stream_never_fires(self):
+        f = Feeder(make_slo())
+        for i in range(200):
+            f.span(i * 10.0, 0.1)
+        assert f.engine.alerts == []
+        assert f.engine.firing() == []
+        assert f.engine.summary()["append-latency"]["compliance"] == 1.0
+
+    def test_fast_rule_fires_on_sudden_outage(self):
+        # budget 0.05, fast factor 5 -> fires when bad fraction >= 0.25
+        # over the 5-minute window.
+        f = Feeder(make_slo())
+        for i in range(20):
+            f.span(i * 10.0, 0.1)
+        t0 = 200.0
+        for i in range(20):  # total outage: every span blows the objective
+            f.span(t0 + i * 2.0, 2.0)
+        fires = [a for a in f.engine.alerts if a.event == "fire"]
+        fast_fires = [a for a in fires if a.rule == "fast"]
+        assert fast_fires, f"fast rule never fired: {fires}"
+        assert fast_fires[0].burn >= FAST_BURN_FACTOR
+        assert ("append-latency", "fast") in f.engine.firing()
+
+    def test_fast_rule_resolves_when_window_drains(self):
+        f = Feeder(make_slo())
+        for i in range(10):
+            f.span(i * 2.0, 2.0)  # outage fires the fast rule
+        assert f.engine.firing()
+        # Healthy traffic far past the 5-min fast window drains it.
+        for i in range(50):
+            f.span(1000.0 + i * 10.0, 0.1)
+        events = [a.event for a in f.engine.alerts]
+        assert events.count("fire") >= 1
+        assert events[-1] == "resolve"
+        assert ("append-latency", "fast") not in f.engine.firing()
+
+    def test_slow_rule_catches_budget_leak(self):
+        # 10% bad at budget 5% = burn 2.0: above the slow rule's 1x but
+        # (mostly) below the fast rule's 5x.
+        slo = make_slo(rules=(BurnRateRule("slow", 1.0, 0.0, min_events=50),))
+        f = Feeder(slo)
+        for i in range(300):
+            f.span(i * 10.0, 2.0 if i % 10 == 0 else 0.1)
+        fires = [a for a in f.engine.alerts if a.event == "fire"]
+        assert fires and fires[0].rule == "slow"
+        assert fires[0].burn == pytest.approx(2.0, rel=0.3)
+
+    def test_min_events_suppresses_early_verdicts(self):
+        slo = make_slo(rules=(BurnRateRule("fast", 5.0, 300.0, min_events=10),))
+        f = Feeder(slo)
+        for i in range(9):
+            f.span(i * 1.0, 2.0)  # 100% bad but below min_events
+        assert f.engine.alerts == []
+        f.span(9.0, 2.0)
+        assert [a.event for a in f.engine.alerts] == ["fire"]
+
+    def test_breach_hooks_run_on_fire_only(self):
+        f = Feeder(make_slo())
+        seen = []
+        f.engine.on_breach(seen.append)
+        for i in range(10):
+            f.span(i * 2.0, 2.0)
+        for i in range(50):
+            f.span(1000.0 + i * 10.0, 0.1)
+        assert len(seen) == sum(1 for a in f.engine.alerts if a.event == "fire")
+        assert all(a.event == "fire" for a in seen)
+
+    def test_unmatched_span_names_ignored(self):
+        f = Feeder(make_slo())
+        f.span(0.0, 99.0, name="cfd.sim")
+        assert f.engine.alerts == []
+        assert f.engine.summary()["append-latency"]["good"] == 0
+
+    def test_two_slos_same_span_population(self):
+        tight = make_slo(name="tight", objective_s=0.05)
+        loose = make_slo(name="loose", objective_s=10.0)
+        f = Feeder(tight, loose)
+        for i in range(10):
+            f.span(i * 1.0, 1.0)
+        assert ("tight", "fast") in f.engine.firing()
+        assert ("loose", "fast") not in f.engine.firing()
+        summary = f.engine.summary()
+        assert summary["tight"]["bad"] == 10
+        assert summary["loose"]["good"] == 10
+
+
+class TestTimeline:
+    def drive(self):
+        f = Feeder(make_slo())
+        for i in range(30):
+            f.span(i * 10.0, 0.1)
+        for i in range(15):
+            f.span(300.0 + i * 2.0, 3.0)
+        for i in range(80):
+            f.span(1200.0 + i * 10.0, 0.1)
+        return f.engine
+
+    def test_timeline_records_transitions_in_order(self):
+        timeline = self.drive().timeline()
+        assert timeline, "expected at least one transition"
+        assert [e["t"] for e in timeline] == sorted(e["t"] for e in timeline)
+        assert {e["event"] for e in timeline} <= {"fire", "resolve"}
+        for entry in timeline:
+            assert set(entry) == {"t", "slo", "rule", "event", "burn",
+                                  "bad", "total"}
+
+    def test_timeline_json_is_canonical_and_deterministic(self):
+        a = self.drive().timeline_json()
+        b = self.drive().timeline_json()
+        assert a == b
+        assert json.loads(a)  # round-trips
+        assert " " not in a.split('"slo"')[0]  # compact separators
+
+    def test_table_shows_firing_state(self):
+        f = Feeder(make_slo())
+        for i in range(10):
+            f.span(i * 1.0, 2.0)
+        text = "\n".join(f.engine.table())
+        assert "append-latency" in text
+        assert "FIRING" in text

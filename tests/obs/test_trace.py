@@ -199,3 +199,109 @@ class TestHelpers:
         assert isinstance(span, Span)
         with pytest.raises(AttributeError):
             span.stray = 1
+
+
+class TestSpanRing:
+    def test_unbounded_by_default(self):
+        tr = Tracer()
+        for i in range(100):
+            tr.record("s", float(i), float(i) + 0.1)
+        assert tr.max_spans is None
+        assert len(tr.spans) == 100
+        assert tr.spans_dropped == 0
+
+    def test_ring_bounds_retention(self):
+        tr = Tracer(max_spans=8)
+        for i in range(50):
+            tr.record("s", float(i), float(i) + 0.1)
+        assert len(tr.spans) == 8
+        assert tr.spans_created == 50
+        assert tr.spans_dropped == 42
+        # The survivors are the most recent spans, in creation order.
+        assert [s.start_sim for s in tr.spans] == [float(i) for i in range(42, 50)]
+
+    def test_ring_keeps_ids_monotone(self):
+        tr = Tracer(max_spans=4)
+        for i in range(10):
+            tr.record("s", float(i), float(i) + 0.1)
+        ids = [s.span_id for s in tr.spans]
+        assert ids == sorted(ids)
+        tr.record("s", 10.0, 10.1)
+        assert tr.spans[-1].span_id == 11
+
+    def test_max_spans_validation(self):
+        with pytest.raises(ValueError, match="max_spans"):
+            Tracer(max_spans=0)
+
+    def test_clear_resets_drop_counter(self):
+        tr = Tracer(max_spans=2)
+        for i in range(5):
+            tr.record("s", float(i), float(i) + 0.1)
+        tr.clear()
+        assert len(tr.spans) == 0
+        assert tr.spans_dropped == 0
+
+
+class TestSubscribe:
+    class Sink:
+        def __init__(self):
+            self.spans = []
+
+        def on_span(self, span):
+            self.spans.append(span)
+
+    def test_emit_on_end_exactly_once(self):
+        tr = Tracer()
+        sink = tr.subscribe(self.Sink())
+        span = tr.span("op")
+        assert sink.spans == []  # not emitted while open
+        span.end()
+        span.end()  # idempotent end must not double-emit
+        assert sink.spans == [span]
+
+    def test_emit_on_record(self):
+        tr = Tracer()
+        sink = tr.subscribe(self.Sink())
+        tr.record("op", 0.0, 1.0)
+        assert len(sink.spans) == 1 and sink.spans[0].finished
+
+    def test_emitted_even_when_ring_drops_the_span(self):
+        # Sinks see the full stream; the ring only bounds *retention*.
+        tr = Tracer(max_spans=2)
+        sink = tr.subscribe(self.Sink())
+        for i in range(10):
+            tr.record("s", float(i), float(i) + 0.1)
+        assert len(sink.spans) == 10
+        assert len(tr.spans) == 2
+
+    def test_multiple_sinks_in_subscription_order(self):
+        tr = Tracer()
+        calls = []
+
+        class Named:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_span(self, span):
+                calls.append(self.tag)
+
+        tr.subscribe(Named("a"))
+        tr.subscribe(Named("b"))
+        tr.record("s", 0.0, 1.0)
+        assert calls == ["a", "b"]
+
+    def test_subscribe_returns_sink_for_chaining(self):
+        tr = Tracer()
+        sink = self.Sink()
+        assert tr.subscribe(sink) is sink
+
+    def test_disabled_tracer_rejects_subscribe(self):
+        with pytest.raises(ValueError, match="disabled"):
+            Tracer(enabled=False).subscribe(self.Sink())
+
+    def test_context_manager_exit_emits(self):
+        tr = Tracer()
+        sink = tr.subscribe(self.Sink())
+        with tr.span("op"):
+            pass
+        assert len(sink.spans) == 1
