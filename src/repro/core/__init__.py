@@ -29,6 +29,7 @@ from repro.core.e2e import (
     fig3_slos,
 )
 from repro.core.scenario import Scenario, ScenarioResult
+from repro.core.scale import ScaleReport, ScaleScenario
 
 __all__ = [
     "FabricConfig",
@@ -45,4 +46,6 @@ __all__ = [
     "fig3_slos",
     "Scenario",
     "ScenarioResult",
+    "ScaleReport",
+    "ScaleScenario",
 ]

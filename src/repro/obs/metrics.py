@@ -293,6 +293,34 @@ class Series(_Family):
             for observer in observers:
                 observer.on_metric(self.name, value, labels)
 
+    def extend(
+        self,
+        ts: "Iterable[float]",
+        values: "Iterable[float]",
+        **labels: Any,
+    ) -> None:
+        """Bulk :meth:`append`: one call for a whole sample block.
+
+        Semantically identical to appending each ``(t, value)`` pair in
+        order -- same float casts, same oldest-first ``maxlen`` trim, same
+        per-point observer notifications -- but pays the dict lookup and
+        trim once instead of per point (the vectorized radio path emits
+        thousands of points per test).
+        """
+        key = self._labels_key(labels)
+        points = self._data.get(key)
+        if points is None:
+            points = self._data[key] = []
+        new = [(float(t), float(v)) for t, v in zip(ts, values)]
+        points.extend(new)
+        if self.maxlen is not None and len(points) > self.maxlen:
+            del points[: len(points) - self.maxlen]
+        observers = self._observers
+        if observers:
+            for _, v in new:
+                for observer in observers:
+                    observer.on_metric(self.name, v, labels)
+
     def points(self, **labels: Any) -> list[tuple[float, float]]:
         return list(self._data.get(_label_key(labels), ()))
 

@@ -33,9 +33,17 @@ from repro.radio.core5g import Core5G, RegistrationError, SessionError
 from repro.radio.scheduler import MacScheduler, RoundRobinScheduler, ProportionalFairScheduler
 from repro.radio.slicing import NetworkSlice, SliceConfig, SlicePolicy
 from repro.radio.ue import UserEquipment
+from repro.radio.state import UeStateArrays, rate_per_prb_table, sample_throughput_matrix
+from repro.radio.scheduler import round_robin_rounds
 from repro.radio.gnb import GNodeB
 from repro.radio.network import PrivateCellularNetwork, NetworkDeployment
 from repro.radio.iperf import IperfClient, IperfResult, run_downlink_test, run_uplink_test
+from repro.radio.population import (
+    CellPopulation,
+    Distribution,
+    RandomVariable,
+    UEPopulation,
+)
 
 __all__ = [
     "CarrierConfig",
@@ -80,4 +88,12 @@ __all__ = [
     "IperfResult",
     "run_uplink_test",
     "run_downlink_test",
+    "UeStateArrays",
+    "rate_per_prb_table",
+    "sample_throughput_matrix",
+    "round_robin_rounds",
+    "CellPopulation",
+    "Distribution",
+    "RandomVariable",
+    "UEPopulation",
 ]

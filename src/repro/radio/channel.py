@@ -74,8 +74,14 @@ class ChannelModel:
         if jitter_scale < 1.0:
             raise ValueError(f"jitter_scale must be >= 1: {jitter_scale}")
         sigma = self.fading_sigma * jitter_scale
-        # Mean-one lognormal: exp(N(-sigma^2/2, sigma)).
-        return rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma, size=n)
+        # Mean-one lognormal: exp(N(-sigma^2/2, sigma)), built from explicit
+        # standard normals + numpy's exp rather than `rng.lognormal` so the
+        # scalar path and the vectorized state-array kernel share one exp
+        # implementation (libm's exp inside the generator's C code and
+        # numpy's SIMD exp can disagree by 1 ulp). Consumes the RNG stream
+        # identically: one standard normal per draw.
+        z = rng.standard_normal(n)
+        return np.exp(-0.5 * sigma * sigma + sigma * z)
 
 
 #: Operating points per technology, used by the deployment builders.

@@ -12,6 +12,14 @@ Per one-second sample, for each UE:
     sample     = realized x lognormal fading (variance grows near the SDR
                  sampling ceiling)
 
+The public sampling methods run array-at-a-time: the scheduler produces a
+``(n_samples, n_ues)`` PRB-grant matrix, the per-UE state is packed into
+contiguous arrays (:class:`repro.radio.state.UeStateArrays`), and one
+``standard_normal`` tensor drives the CQI and fading draws for the whole
+run. The retired per-UE loops survive as ``*_samples_scalar`` reference
+implementations; the parity battery asserts the two paths are bit-identical
+sample-for-sample at every N.
+
 Invariants (property-tested): PRB grants never exceed the grid; slice
 partitions conserve PRBs; samples are non-negative and respect hard caps
 up to fading noise.
@@ -29,6 +37,11 @@ from repro.radio.phy import CarrierConfig
 from repro.radio.scheduler import MacScheduler, RoundRobinScheduler, UeDemand
 from repro.radio.sdr import SdrFrontEnd, USRP_B210
 from repro.radio.slicing import SliceConfig
+from repro.radio.state import (
+    UeStateArrays,
+    rate_per_prb_table,
+    sample_throughput_matrix,
+)
 from repro.radio.ue import UserEquipment
 
 #: Fractional aggregate-capacity loss per additional concurrently scheduled
@@ -65,6 +78,7 @@ class GNodeB:
     metrics: Optional[MetricsRegistry] = None
     _ues: dict[str, UserEquipment] = field(default_factory=dict)
     _slice_schedulers: dict[str, MacScheduler] = field(default_factory=dict)
+    _rate_table: Optional[np.ndarray] = field(default=None, repr=False)
 
     def bind_metrics(self, registry: MetricsRegistry) -> "GNodeB":
         """Record per-round scheduler metrics for this cell (and its slices)."""
@@ -107,6 +121,71 @@ class GNodeB:
 
     # -- throughput sampling ---------------------------------------------------
 
+    def _active(
+        self, active_ue_ids: Optional[list[str]], n_samples: int
+    ) -> list[UserEquipment]:
+        if n_samples <= 0:
+            raise ValueError(f"n_samples must be positive: {n_samples}")
+        active = (
+            [self._ues[u] for u in active_ue_ids]
+            if active_ue_ids is not None
+            else self.attached_ues
+        )
+        if not active:
+            raise ValueError("no active UEs to sample")
+        return active
+
+    def _dl_over_ul(self) -> float:
+        """Downlink/uplink slot ratio: FDD -> dedicated downlink carrier;
+        TDD's downlink gets the slot fraction the uplink doesn't."""
+        if self.carrier.uplink_fraction >= 1.0:
+            return 1.0
+        dl_fraction = self.carrier.tdd_pattern.downlink_fraction
+        return dl_fraction / max(self.carrier.uplink_fraction, 1e-9)
+
+    def rate_table(self) -> np.ndarray:
+        """Cached CQI -> uplink bits/s-per-PRB table for this carrier."""
+        if self._rate_table is None:
+            self._rate_table = rate_per_prb_table(self.carrier)
+        return self._rate_table
+
+    def _samples_matrix(
+        self,
+        rng: np.random.Generator,
+        n_samples: int,
+        active: list[UserEquipment],
+        downlink: bool,
+    ) -> tuple[UeStateArrays, np.ndarray]:
+        """The vectorized hot path shared by both directions.
+
+        One scheduler call produces the full ``(S, U)`` grant matrix, one
+        ``standard_normal`` tensor reproduces the scalar loop's draw order,
+        and one kernel call produces every sample. Returns the packed state
+        (for column order) and a C-contiguous ``(U, S)`` sample matrix.
+        """
+        tech, duplex = self.carrier.technology, self.carrier.duplex
+        n_active = len(active)
+        derate = self.sdr.derate(self.carrier.bandwidth_mhz, active_ues=n_active)
+        jitter = self.sdr.jitter_scale(self.carrier.bandwidth_mhz, active_ues=n_active)
+        multi_ue_eff = max(0.4, 1.0 - MULTI_UE_OVERHEAD * (n_active - 1))
+        grants = self._grants_matrix(active, n_samples)
+        state = UeStateArrays.from_ues(active, tech, duplex)
+        z = rng.standard_normal((n_samples, n_active, 2))
+        samples = sample_throughput_matrix(
+            state,
+            grants,
+            z,
+            self.rate_table(),
+            derate=derate,
+            multi_ue_eff=multi_ue_eff,
+            jitter_scale=jitter,
+            rate_scale=self._dl_over_ul() if downlink else None,
+            apply_caps=not downlink,
+        )
+        # One bulk transpose+copy: per-UE rows come out contiguous without
+        # a per-UE allocation loop.
+        return state, np.ascontiguousarray(samples.T)
+
     def uplink_samples(
         self,
         rng: np.random.Generator,
@@ -117,17 +196,45 @@ class GNodeB:
 
         ``active_ue_ids`` restricts which attached UEs saturate the uplink
         (default: all attached UEs). Returns ``{ue_id: array[n_samples]}``.
+        Vectorized; bit-identical to :meth:`uplink_samples_scalar`.
         """
-        if n_samples <= 0:
-            raise ValueError(f"n_samples must be positive: {n_samples}")
-        active = (
-            [self._ues[u] for u in active_ue_ids]
-            if active_ue_ids is not None
-            else self.attached_ues
-        )
-        if not active:
-            raise ValueError("no active UEs to sample")
+        active = self._active(active_ue_ids, n_samples)
+        state, samples = self._samples_matrix(rng, n_samples, active, downlink=False)
+        return {ue_id: samples[j] for j, ue_id in enumerate(state.ue_ids)}
 
+    def downlink_samples(
+        self,
+        rng: np.random.Generator,
+        n_samples: int,
+        active_ue_ids: Optional[list[str]] = None,
+    ) -> dict[str, np.ndarray]:
+        """Per-second downlink throughput samples (bits/s) per UE.
+
+        The paper's evaluation is uplink-only (sensor traffic), but the
+        return path -- CFD results and robot tasking back to the site --
+        rides the downlink. Downlink is gNB-transmitted: the UE-side
+        uplink caps (modem TX power, host USB) do not apply; reception
+        efficiency reuses the device/modem factors. Vectorized;
+        bit-identical to :meth:`downlink_samples_scalar`.
+        """
+        active = self._active(active_ue_ids, n_samples)
+        state, samples = self._samples_matrix(rng, n_samples, active, downlink=True)
+        return {ue_id: samples[j] for j, ue_id in enumerate(state.ue_ids)}
+
+    # -- scalar reference implementations ---------------------------------------
+
+    def uplink_samples_scalar(
+        self,
+        rng: np.random.Generator,
+        n_samples: int,
+        active_ue_ids: Optional[list[str]] = None,
+    ) -> dict[str, np.ndarray]:
+        """Retired per-UE uplink loop, kept as the parity-battery reference.
+
+        Consumes the RNG stream identically to :meth:`uplink_samples`; the
+        outputs must match bit-for-bit at any N.
+        """
+        active = self._active(active_ue_ids, n_samples)
         tech = self.carrier.technology
         duplex = self.carrier.duplex
         n_active = len(active)
@@ -156,41 +263,23 @@ class GNodeB:
                 out[ue.ue_id][i] = max(realized * fade, 0.0)
         return out
 
-    def downlink_samples(
+    def downlink_samples_scalar(
         self,
         rng: np.random.Generator,
         n_samples: int,
         active_ue_ids: Optional[list[str]] = None,
     ) -> dict[str, np.ndarray]:
-        """Per-second downlink throughput samples (bits/s) per UE.
-
-        The paper's evaluation is uplink-only (sensor traffic), but the
-        return path -- CFD results and robot tasking back to the site --
-        rides the downlink. Structure mirrors :meth:`uplink_samples` with
-        the duplex roles swapped: FDD has a dedicated downlink carrier;
-        TDD's downlink gets the slot fraction the uplink doesn't.
+        """Retired per-UE downlink loop; structure mirrors
+        :meth:`uplink_samples_scalar` with the duplex roles swapped. Kept
+        as the parity-battery reference for :meth:`downlink_samples`.
         """
-        if n_samples <= 0:
-            raise ValueError(f"n_samples must be positive: {n_samples}")
-        active = (
-            [self._ues[u] for u in active_ue_ids]
-            if active_ue_ids is not None
-            else self.attached_ues
-        )
-        if not active:
-            raise ValueError("no active UEs to sample")
+        active = self._active(active_ue_ids, n_samples)
         tech, duplex = self.carrier.technology, self.carrier.duplex
         n_active = len(active)
         derate = self.sdr.derate(self.carrier.bandwidth_mhz, active_ues=n_active)
         jitter = self.sdr.jitter_scale(self.carrier.bandwidth_mhz, active_ues=n_active)
         multi_ue_eff = max(0.4, 1.0 - MULTI_UE_OVERHEAD * (n_active - 1))
-        # Downlink fraction: FDD -> dedicated carrier; TDD -> the D slots
-        # plus the special slots' downlink share.
-        if self.carrier.uplink_fraction >= 1.0:
-            dl_over_ul = 1.0
-        else:
-            dl_fraction = self.carrier.tdd_pattern.downlink_fraction
-            dl_over_ul = dl_fraction / max(self.carrier.uplink_fraction, 1e-9)
+        dl_over_ul = self._dl_over_ul()
         out = {ue.ue_id: np.empty(n_samples) for ue in active}
         for i in range(n_samples):
             grants = self._grants_for_round(active, rng)
@@ -242,4 +331,50 @@ class GNodeB:
                 for ue in ues
             ]
             grants.update(sched.allocate(demands, budget))
+        return grants
+
+    def _grants_matrix(
+        self, active: list[UserEquipment], n_rounds: int
+    ) -> np.ndarray:
+        """All scheduling rounds at once: ``(n_rounds, len(active))`` PRBs.
+
+        Mirrors :meth:`_grants_for_round` exactly -- same demands, same
+        per-slice scheduler instances and state evolution -- but drives
+        each scheduler's :meth:`~repro.radio.scheduler.MacScheduler.
+        allocate_rounds` once instead of once per round. Slices are
+        column-blocks; their schedulers hold independent state, so
+        slice-major order here equals the scalar path's round-major order.
+        """
+        total_prbs = self.carrier.n_prbs
+        if self.slice_config is None:
+            demands = [
+                UeDemand(ue.ue_id, prbs_wanted=total_prbs, cqi=int(ue.channel.mean_cqi))
+                for ue in active
+            ]
+            return self.scheduler.allocate_rounds(demands, total_prbs, n_rounds)
+
+        partition = self.slice_config.partition_prbs(total_prbs)
+        grants = np.zeros((n_rounds, len(active)), dtype=np.int64)
+        by_slice: dict[str, list[int]] = {}
+        for j, ue in enumerate(active):
+            by_slice.setdefault(ue.slice_name or "default", []).append(j)
+        for slice_name, cols in by_slice.items():
+            budget = partition[slice_name]
+            sched = self._slice_schedulers.get(slice_name)
+            if sched is None:
+                sched = RoundRobinScheduler()
+                if self.metrics is not None:
+                    sched.bind_metrics(
+                        self.metrics, cell=f"{self.name}/{slice_name}"
+                    )
+                self._slice_schedulers[slice_name] = sched
+            demands = [
+                UeDemand(
+                    active[j].ue_id,
+                    prbs_wanted=budget,
+                    cqi=int(active[j].channel.mean_cqi),
+                )
+                for j in cols
+            ]
+            grants[:, cols] = sched.allocate_rounds(demands, budget, n_rounds)
         return grants

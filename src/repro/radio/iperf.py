@@ -152,11 +152,10 @@ def _run_test(
                 "radio.ue_throughput_mbps",
                 help="per-second iperf-style throughput samples per UE",
             )
-            for second, bps in enumerate(samples):
-                series.append(
-                    float(second), float(bps) / 1e6,
-                    cell=gnb.name, ue=ue.ue_id, direction=direction,
-                )
+            series.extend(
+                np.arange(len(samples), dtype=np.float64), samples / 1e6,
+                cell=gnb.name, ue=ue.ue_id, direction=direction,
+            )
             metrics.gauge(
                 "radio.ue_mean_mbps", help="mean throughput of the last test"
             ).set(

@@ -49,6 +49,38 @@ class UeDemand:
             raise ValueError(f"negative PRB demand: {self.prbs_wanted}")
 
 
+def round_robin_rounds(
+    n_ues: int,
+    budget: int,
+    n_rounds: int,
+    start_rotation: int,
+    sorted_pos: np.ndarray,
+) -> tuple[np.ndarray, int]:
+    """Closed-form :class:`RoundRobinScheduler` grants for uniform
+    saturating demands, one row per round.
+
+    The water-fill collapses when every UE wants at least the whole budget:
+    each round grants ``budget // n`` PRBs to everyone plus one extra PRB to
+    the ``budget % n`` UEs at rotating positions in *sorted ue_id* order
+    (the scalar scheduler's remainder rotation). ``sorted_pos[j]`` is column
+    ``j``'s rank in that sorted order. Returns the ``(n_rounds, n_ues)``
+    int64 grants matrix and the rotation counter after ``n_rounds`` rounds.
+    Bit-identical to looping ``allocate`` (property-tested).
+    """
+    if n_ues <= 0:
+        raise ValueError(f"n_ues must be positive: {n_ues}")
+    base, extra = divmod(budget, n_ues)
+    grants = np.full((n_rounds, n_ues), base, dtype=np.int64)
+    if extra == 0:
+        # Budget divides evenly: the scalar loop never reaches the
+        # remainder-rotation branch, so the rotation counter is untouched.
+        return grants, start_rotation
+    starts = (start_rotation + np.arange(n_rounds, dtype=np.int64)) % n_ues
+    offsets = (sorted_pos[None, :] - starts[:, None]) % n_ues
+    grants += offsets < extra
+    return grants, start_rotation + n_rounds
+
+
 class MacScheduler(ABC):
     """Allocates a PRB budget among demanding UEs each round."""
 
@@ -61,6 +93,27 @@ class MacScheduler(ABC):
     @abstractmethod
     def allocate(self, demands: list[UeDemand], budget: int) -> dict[str, int]:
         """Return ``{ue_id: prbs}``; total never exceeds ``budget``."""
+
+    def allocate_rounds(
+        self, demands: list[UeDemand], budget: int, n_rounds: int
+    ) -> np.ndarray:
+        """Grants for ``n_rounds`` consecutive rounds as an int64 matrix.
+
+        Row ``r`` is round ``r``; column ``j`` is ``demands[j]``. The
+        default implementation loops :meth:`allocate`, so it is
+        bit-identical to per-round scheduling by construction (including
+        scheduler state evolution and metric observations). Disciplines
+        with closed-form round structure override this with an
+        array-at-a-time fast path.
+        """
+        if n_rounds < 0:
+            raise ValueError(f"negative round count: {n_rounds}")
+        out = np.zeros((n_rounds, len(demands)), dtype=np.int64)
+        for r in range(n_rounds):
+            alloc = self.allocate(demands, budget)
+            for j, d in enumerate(demands):
+                out[r, j] = alloc.get(d.ue_id, 0)
+        return out
 
     def bind_metrics(
         self, registry: MetricsRegistry, cell: str = ""
@@ -154,6 +207,35 @@ class RoundRobinScheduler(MacScheduler):
                 break
         self._observe(alloc, budget)
         return alloc
+
+    def allocate_rounds(
+        self, demands: list[UeDemand], budget: int, n_rounds: int
+    ) -> np.ndarray:
+        """Vectorized multi-round grants for the saturating-demand case.
+
+        When every UE could absorb the whole budget (how the gNB drives the
+        scheduler for iperf-style saturation) and no metrics are bound, the
+        per-round water-fill reduces to :func:`round_robin_rounds` -- one
+        numpy expression for all rounds. Any other shape (partial demands,
+        bound metrics whose per-round observations must be preserved) falls
+        back to the bit-identical per-round loop.
+        """
+        if n_rounds < 0:
+            raise ValueError(f"negative round count: {n_rounds}")
+        saturating = bool(demands) and all(
+            d.prbs_wanted >= budget for d in demands
+        )
+        if self._metrics is not None or not saturating or n_rounds == 0:
+            return super().allocate_rounds(demands, budget, n_rounds)
+        self._validate(demands, budget)
+        ids = [d.ue_id for d in demands]
+        order = sorted(range(len(ids)), key=ids.__getitem__)
+        sorted_pos = np.empty(len(ids), dtype=np.int64)
+        sorted_pos[order] = np.arange(len(ids), dtype=np.int64)
+        grants, self._rotation = round_robin_rounds(
+            len(ids), budget, n_rounds, self._rotation, sorted_pos
+        )
+        return grants
 
 
 class ProportionalFairScheduler(MacScheduler):

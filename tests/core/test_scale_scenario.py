@@ -1,0 +1,67 @@
+"""ScaleScenario: population-scale runs on the batched engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scale import ScaleReport, ScaleScenario
+from repro.radio.population import Distribution, RandomVariable, UEPopulation
+
+
+def _pop(n_cells: int = 3, mean_ues: float = 40.0) -> UEPopulation:
+    return UEPopulation(
+        n_cells=n_cells,
+        ues_per_cell=RandomVariable(mean_ues, Distribution.POISSON),
+        network="5g-tdd",
+        bandwidth_mhz=40.0,
+    )
+
+
+def test_validation() -> None:
+    with pytest.raises(ValueError):
+        ScaleScenario(population=_pop(), horizon_s=0.0)
+    with pytest.raises(ValueError):
+        ScaleScenario(population=_pop(), window_s=0.0)
+    with pytest.raises(ValueError):
+        ScaleScenario(population=_pop(), horizon_s=5.0, window_s=10.0)
+
+
+def test_run_accounting() -> None:
+    scenario = ScaleScenario(population=_pop(), seed=5, horizon_s=30.0, window_s=10.0)
+    report = scenario.run()
+    assert report.n_cells == 3
+    assert report.total_ues == sum(report.per_cell_ues)
+    assert report.events_processed == scenario.n_events == 9
+    # Every cell emits window_s samples per UE per window.
+    assert report.samples_generated == report.total_ues * 30
+    assert report.aggregate_mean_bps > 0.0
+
+
+def test_same_seed_reports_identical() -> None:
+    a = ScaleScenario(population=_pop(), seed=12, horizon_s=20.0, window_s=5.0).run()
+    b = ScaleScenario(population=_pop(), seed=12, horizon_s=20.0, window_s=5.0).run()
+    assert a == b  # frozen dataclass equality: bit-identical floats included
+
+
+def test_different_seed_diverges() -> None:
+    a = ScaleScenario(population=_pop(), seed=1, horizon_s=20.0, window_s=10.0).run()
+    b = ScaleScenario(population=_pop(), seed=2, horizon_s=20.0, window_s=10.0).run()
+    assert a.aggregate_mean_bps != b.aggregate_mean_bps
+
+
+def test_report_json_shape() -> None:
+    report = ScaleScenario(population=_pop(2), seed=0, horizon_s=10.0, window_s=10.0).run()
+    payload = report.to_json()
+    assert payload["n_cells"] == 2
+    assert payload["samples_generated"] == report.samples_generated
+    assert payload["aggregate_mean_mbps"] == pytest.approx(
+        report.aggregate_mean_bps / 1e6
+    )
+    assert isinstance(payload["per_cell_ues"], list)
+
+
+def test_report_is_frozen() -> None:
+    report = ScaleScenario(population=_pop(1), seed=0, horizon_s=10.0, window_s=10.0).run()
+    assert isinstance(report, ScaleReport)
+    with pytest.raises(AttributeError):
+        report.total_ues = 0  # type: ignore[misc]

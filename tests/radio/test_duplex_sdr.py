@@ -3,7 +3,7 @@
 import pytest
 
 from repro.radio.duplex import TDD_DL_HEAVY, TDD_UL_HEAVY, TddPattern
-from repro.radio.sdr import SdrFrontEnd, USRP_B210
+from repro.radio.sdr import JITTER_SCALE_CAP, SdrFrontEnd, USRP_B210
 
 
 class TestTddPattern:
@@ -76,6 +76,18 @@ class TestSdrFrontEnd:
         assert USRP_B210.jitter_scale(20) == 1.0
         assert USRP_B210.jitter_scale(50) > 1.0
         assert USRP_B210.jitter_scale(50, active_ues=2) > USRP_B210.jitter_scale(50)
+
+    def test_jitter_saturates_in_dense_cells(self):
+        # Unbounded per-UE inflation would push the lognormal fading's
+        # median to zero for any cell with more than a few dozen UEs.
+        assert USRP_B210.jitter_scale(50, active_ues=10_000) == JITTER_SCALE_CAP
+        assert (
+            USRP_B210.jitter_scale(40, active_ues=2_500)
+            == USRP_B210.jitter_scale(40, active_ues=10_000)
+            == JITTER_SCALE_CAP
+        )
+        # The cap never binds at testbed scale (the paper's two-UE cell).
+        assert USRP_B210.jitter_scale(50, active_ues=2) < JITTER_SCALE_CAP
 
     def test_invalid_construction(self):
         with pytest.raises(ValueError):
