@@ -1,0 +1,111 @@
+"""Keep root-level ``BENCH_*.json`` mirrors in sync with the artifacts dir.
+
+Benchmark runs write their records to ``benchmarks/_artifacts/BENCH_*.json``
+(the canonical location, uploaded by CI); a copy of each lives at the repo
+root for quick inspection and for the README's headline numbers. Two
+copies of the same file drift -- this helper makes the invariant cheap to
+keep and cheap to check:
+
+* ``python benchmarks/sync_artifacts.py`` -- copy every canonical
+  artifact over its root mirror (creating missing mirrors).
+* ``python benchmarks/sync_artifacts.py --check`` -- exit 1 listing every
+  divergent/missing pair, byte-compared; CI runs this so a PR cannot land
+  with stale mirrors.
+
+A root ``BENCH_*.json`` with no artifact counterpart is also flagged: it
+is either an orphan (delete it) or the benchmark never wrote its
+canonical record.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ARTIFACTS_DIR = REPO_ROOT / "benchmarks" / "_artifacts"
+PATTERN = "BENCH_*.json"
+
+
+@dataclass(frozen=True)
+class PairStatus:
+    """One artifact/mirror pair and how it diverges (if it does)."""
+
+    name: str
+    status: str  # "in-sync" | "diverged" | "missing-mirror" | "orphan-mirror"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "in-sync"
+
+
+def audit(
+    root: Path = REPO_ROOT, artifacts: Path = ARTIFACTS_DIR
+) -> list[PairStatus]:
+    """Byte-compare every ``BENCH_*.json`` pair; sorted by name."""
+    statuses: list[PairStatus] = []
+    canonical = {p.name: p for p in artifacts.glob(PATTERN)}
+    mirrors = {p.name: p for p in root.glob(PATTERN)}
+    for name in sorted(canonical.keys() | mirrors.keys()):
+        if name not in mirrors:
+            statuses.append(PairStatus(name, "missing-mirror"))
+        elif name not in canonical:
+            statuses.append(PairStatus(name, "orphan-mirror"))
+        elif canonical[name].read_bytes() != mirrors[name].read_bytes():
+            statuses.append(PairStatus(name, "diverged"))
+        else:
+            statuses.append(PairStatus(name, "in-sync"))
+    return statuses
+
+
+def sync(
+    root: Path = REPO_ROOT, artifacts: Path = ARTIFACTS_DIR
+) -> list[PairStatus]:
+    """Copy canonical artifacts over stale/missing mirrors; report actions.
+
+    Orphan mirrors are reported but never deleted -- removing data the
+    helper did not create is the caller's decision.
+    """
+    actions: list[PairStatus] = []
+    for pair in audit(root, artifacts):
+        if pair.status in ("diverged", "missing-mirror"):
+            shutil.copyfile(artifacts / pair.name, root / pair.name)
+            actions.append(PairStatus(pair.name, "synced"))
+        else:
+            actions.append(pair)
+    return actions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="report divergence and exit 1 instead of copying",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        bad = [p for p in audit() if not p.ok]
+        for pair in bad:
+            print(f"{pair.name}: {pair.status}")
+        if bad:
+            print(
+                f"{len(bad)} benchmark artifact pair(s) out of sync; "
+                "run `python benchmarks/sync_artifacts.py`",
+                file=sys.stderr,
+            )
+            return 1
+        print("benchmark artifacts and root mirrors are in sync")
+        return 0
+
+    for pair in sync():
+        print(f"{pair.name}: {pair.status}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -164,6 +164,7 @@ class WallClockRule(Rule):
     allow_suffixes = (
         "repro/obs/trace.py",  # dual-clock spans: wall time is the point
         "repro/cfd/solver.py",  # solver wall-time measurement (perf probe)
+        "repro/parallel/worker.py",  # shard compute-wall probe (side channel)
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
@@ -483,6 +484,92 @@ class BlockingHandlerRule(Rule):
                         )
 
 
+#: Entry points into process-level parallelism. Sanctioned only inside
+#: ``repro.parallel`` (and its tests), which owns the spawn-context
+#: sharding protocol.
+PROCESS_PARALLELISM_CALLS = frozenset(
+    {
+        "multiprocessing.Pool",
+        "multiprocessing.Process",
+        "multiprocessing.get_context",
+        "multiprocessing.set_start_method",
+        "multiprocessing.pool.Pool",
+        "concurrent.futures.ProcessPoolExecutor",
+    }
+)
+
+#: Raw fork primitives: banned everywhere, no allowlist.
+FORK_CALLS = frozenset({"os.fork", "os.forkpty", "pty.fork"})
+
+#: ``get_context``/``set_start_method`` arguments that fork the parent.
+FORK_START_METHODS = frozenset({"fork", "forkserver"})
+
+
+class ProcessParallelismRule(Rule):
+    """REPRO404: process parallelism only via ``repro.parallel``, never fork."""
+
+    code = "REPRO404"
+    name = "ad-hoc-process-parallelism"
+    rationale = (
+        "A forked child inherits the parent's RNG registry and engine state "
+        "mid-run, so results depend on *when* the fork happened -- fork and "
+        "fork-context multiprocessing are banned outright. Spawn-context "
+        "process parallelism is sanctioned only inside `repro.parallel`, "
+        "which shards by cell and merges deterministically; ad-hoc "
+        "Pool/Process elsewhere bypasses the window-barrier protocol and "
+        "the per-shard stream naming that make runs worker-count-invariant."
+    )
+    scopes = frozenset({"src", "tests", "benchmarks", "examples"})
+
+    #: Path fragments where spawn-context multiprocessing is the point.
+    _sanctioned_fragments = ("repro/parallel/", "tests/parallel/")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        norm = ctx.path.replace("\\", "/")
+        sanctioned = any(f in norm for f in self._sanctioned_fragments)
+        for node, target in _call_targets(ctx):
+            if target in FORK_CALLS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"`{target}()` forks the interpreter, inheriting RNG "
+                    "registry state mid-run; use spawn-context workers via "
+                    "`repro.parallel`",
+                )
+                continue
+            if target not in PROCESS_PARALLELISM_CALLS:
+                continue
+            method = self._start_method_literal(node)
+            if method in FORK_START_METHODS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"`{target}({method!r})` selects a fork-based start "
+                    "method; forked children inherit parent RNG state -- "
+                    "only `\"spawn\"` is deterministic across platforms",
+                )
+            elif not sanctioned:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"ad-hoc process parallelism `{target}()` outside "
+                    "`repro.parallel`; shard through "
+                    "`repro.parallel.ShardedScaleScenario` so results stay "
+                    "worker-count-invariant",
+                )
+
+    @staticmethod
+    def _start_method_literal(node: ast.Call) -> str | None:
+        candidates: list[ast.expr] = list(node.args[:1])
+        candidates.extend(
+            kw.value for kw in node.keywords if kw.arg == "method"
+        )
+        for expr in candidates:
+            if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+                return expr.value
+        return None
+
+
 def _is_none(node: ast.expr) -> bool:
     return isinstance(node, ast.Constant) and node.value is None
 
@@ -499,6 +586,7 @@ ALL_RULES: tuple[Rule, ...] = (
     MutableDefaultRule(),
     BareExceptRule(),
     BlockingHandlerRule(),
+    ProcessParallelismRule(),
 )
 
 RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

@@ -21,7 +21,7 @@ the greatest total simulated duration anywhere in the span set.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from repro.obs.trace import Span
 
@@ -101,7 +101,7 @@ class LatencyBudget:
         )
         return lines
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """JSON-ready form (artifact trail for benchmarks)."""
         return {
             "title": self.title,
@@ -296,7 +296,7 @@ def staged_critical_path(
 
     legs = _legs_from_chain(chain)
     # Apply stage labels (legs default to span names).
-    labelled = []
+    labelled: list[Stage] = []
     by_name: dict[str, str] = {s.name: (s.label or s.name) for s in stages}
     for leg in legs:
         labelled.append(

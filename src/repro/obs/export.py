@@ -62,7 +62,7 @@ def _jsonable_value(value: Any) -> Any:
     return repr(value)
 
 
-def _jsonable_attrs(attrs: dict) -> dict:
+def _jsonable_attrs(attrs: dict[str, Any]) -> dict[str, Any]:
     """Attributes coerced to JSON-stable primitives, key-sorted."""
     return {key: _jsonable_value(attrs[key]) for key in sorted(attrs)}
 
@@ -73,7 +73,7 @@ def spans_to_jsonl(
     include_wall: bool = True,
 ) -> str:
     """Serialize finished spans as JSON Lines, ordered by (start_sim, id)."""
-    lines = []
+    lines: list[str] = []
     for s in _sorted_finished(spans):
         record = {
             "id": s.span_id,
@@ -110,7 +110,7 @@ def spans_to_chrome_trace(
     categories = sorted({s.category or "uncategorized" for s in ordered})
     tids = {cat: i + 1 for i, cat in enumerate(categories)}
 
-    events: list[dict] = [
+    events: list[dict[str, Any]] = [
         {
             "ph": "M",
             "pid": 1,

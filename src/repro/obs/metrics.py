@@ -109,7 +109,7 @@ class Counter(_Family):
         """Sum across every label set."""
         return float(sum(self._data.values()))
 
-    def collect(self) -> list[dict]:
+    def collect(self) -> list[dict[str, Any]]:
         return [
             {"labels": self._labels_to_dict(k), "value": self._data[k]}
             for k in self.label_sets()
@@ -134,7 +134,7 @@ class Gauge(_Family):
     def value(self, **labels: Any) -> float:
         return float(self._data.get(_label_key(labels), 0.0))
 
-    def collect(self) -> list[dict]:
+    def collect(self) -> list[dict[str, Any]]:
         return [
             {"labels": self._labels_to_dict(k), "value": self._data[k]}
             for k in self.label_sets()
@@ -209,7 +209,7 @@ class Histogram(_Family):
 
     # -- per-label-set accessors ----------------------------------------------
 
-    def _state(self, labels: dict) -> Optional[_HistogramState]:
+    def _state(self, labels: dict[str, Any]) -> Optional[_HistogramState]:
         return self._data.get(_label_key(labels))
 
     def count(self, **labels: Any) -> int:
@@ -241,8 +241,8 @@ class Histogram(_Family):
                 return self.buckets[i] if i < len(self.buckets) else s.max
         return s.max
 
-    def collect(self) -> list[dict]:
-        out = []
+    def collect(self) -> list[dict[str, Any]]:
+        out: list[dict[str, Any]] = []
         for key in self.label_sets():
             s = self._data[key]
             out.append({
@@ -324,7 +324,7 @@ class Series(_Family):
     def points(self, **labels: Any) -> list[tuple[float, float]]:
         return list(self._data.get(_label_key(labels), ()))
 
-    def collect(self) -> list[dict]:
+    def collect(self) -> list[dict[str, Any]]:
         return [
             {"labels": self._labels_to_dict(k), "points": list(self._data[k])}
             for k in self.label_sets()
@@ -421,7 +421,7 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return name in self._families
 
-    def collect(self) -> dict[str, dict]:
+    def collect(self) -> dict[str, dict[str, Any]]:
         """Deterministic snapshot of every family, JSON-ready."""
         return {
             name: {

@@ -41,7 +41,8 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import TYPE_CHECKING, Any, Iterable, MutableSequence, Optional, Protocol
+from types import TracebackType
+from typing import TYPE_CHECKING, Any, Iterable, MutableSequence, Optional, Protocol, cast
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -79,7 +80,7 @@ class Span:
         cause_id: Optional[int],
         start_sim: float,
         start_wall: float,
-        attrs: Optional[dict],
+        attrs: Optional[dict[str, Any]],
     ) -> None:
         self._tracer = tracer
         self.span_id = span_id
@@ -91,7 +92,7 @@ class Span:
         self.end_sim: Optional[float] = None
         self.start_wall = start_wall
         self.end_wall: Optional[float] = None
-        self.attrs: dict = attrs if attrs is not None else {}
+        self.attrs: dict[str, Any] = attrs if attrs is not None else {}
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -111,7 +112,12 @@ class Span:
     def __enter__(self) -> "Span":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         self.end()
@@ -162,7 +168,7 @@ class _NullSpan:
     duration_wall = 0.0
 
     @property
-    def attrs(self) -> dict:
+    def attrs(self) -> dict[str, Any]:
         return {}
 
     def end(self) -> "_NullSpan":
@@ -174,7 +180,12 @@ class _NullSpan:
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         return False
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -295,12 +306,14 @@ class Tracer:
         category: str = "",
         parent: Optional[Span] = None,
         cause: Optional[Span] = None,
-        attrs: Optional[dict] = None,
-    ):
+        attrs: Optional[dict[str, Any]] = None,
+    ) -> "Span":
         """Open a span starting now; caller must ``end()`` it (or use
         ``with``). Returns :data:`NULL_SPAN` when disabled."""
         if not self.enabled:
-            return NULL_SPAN
+            # NULL_SPAN implements Span's whole surface; typed as Span so
+            # instrumented call sites need no union handling.
+            return cast("Span", NULL_SPAN)
         span = Span(
             self,
             self._next_id,
@@ -329,8 +342,8 @@ class Tracer:
         category: str = "",
         parent: Optional[Span] = None,
         cause: Optional[Span] = None,
-        attrs: Optional[dict] = None,
-    ):
+        attrs: Optional[dict[str, Any]] = None,
+    ) -> "Span":
         """Record an already-completed sim-time interval as a span.
 
         For operations whose boundaries are only known after the fact
@@ -339,7 +352,7 @@ class Tracer:
         of a purely simulated interval is zero by definition.
         """
         if not self.enabled:
-            return NULL_SPAN
+            return cast("Span", NULL_SPAN)
         if end_sim < start_sim:
             raise ValueError(
                 f"span {name!r}: end_sim {end_sim} before start_sim {start_sim}"

@@ -1,0 +1,52 @@
+"""repro.parallel: sharded multi-process simulation with deterministic merge.
+
+The one sanctioned home for process-level parallelism in this repo
+(REPRO404 bans ad-hoc ``multiprocessing`` elsewhere). A scale scenario is
+partitioned by cell into shards, each shard advances on its own
+deterministic engine under conservative window barriers, and the
+per-shard results merge exactly -- so the report is byte-identical for
+any worker count. See ``docs/parallel.md``.
+"""
+
+from repro.parallel.coordinator import EXECUTORS, ShardedScaleScenario
+from repro.parallel.merge import (
+    STREAM_KEY_FIELDS,
+    canonical_json,
+    canonical_jsonl,
+    fsum_ordered,
+    merge_sketches,
+    merge_slo_timelines,
+    merge_streams,
+    stream_key,
+)
+from repro.parallel.plan import (
+    CSPOT_TRANSFER_FLOOR_S,
+    CellFault,
+    ShardPlan,
+    shard_stream,
+)
+from repro.parallel.report import ParallelReport
+from repro.parallel.shard import CellShardResult, ShardRunner, ShardTask
+from repro.parallel.worker import worker_main
+
+__all__ = [
+    "CSPOT_TRANSFER_FLOOR_S",
+    "CellFault",
+    "CellShardResult",
+    "EXECUTORS",
+    "ParallelReport",
+    "STREAM_KEY_FIELDS",
+    "ShardPlan",
+    "ShardRunner",
+    "ShardTask",
+    "ShardedScaleScenario",
+    "canonical_json",
+    "canonical_jsonl",
+    "fsum_ordered",
+    "merge_sketches",
+    "merge_slo_timelines",
+    "merge_streams",
+    "shard_stream",
+    "stream_key",
+    "worker_main",
+]

@@ -1,0 +1,225 @@
+"""The coordinator: partition, barrier, merge.
+
+:class:`ShardedScaleScenario` is the sharded counterpart of
+:class:`repro.core.scale.ScaleScenario`: the same declarative population
+and sampling horizon, partitioned by cell across workers under the
+conservative window-barrier protocol and merged into one
+:class:`~repro.parallel.report.ParallelReport`.
+
+Two executors drive the identical :class:`~repro.parallel.shard.ShardRunner`
+code path:
+
+* ``"serial"`` -- every shard runs in-process, interleaved window by
+  window. No pickling, no processes; the reference executor for
+  byte-identity tests and the ``workers=1`` single-process baseline.
+* ``"spawn"`` -- each shard runs in a spawned worker process behind a
+  pipe (:mod:`repro.parallel.worker`). The **spawn** start method is
+  required: a forked child would inherit the parent's RNG registry and
+  import-time state mid-run (see REPRO404).
+
+Determinism invariant (tested in ``tests/parallel/``): same seed + same
+scenario produce byte-identical reports for any worker count and either
+executor, because every quantity is keyed by cell, every RNG stream is
+named by cell, and every merge is exact.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field
+from multiprocessing.connection import Connection
+from typing import Any, Optional
+
+from repro.parallel.merge import fsum_ordered, merge_sketches, merge_streams
+from repro.parallel.plan import CellFault, ShardPlan
+from repro.parallel.report import ParallelReport
+from repro.parallel.shard import CellShardResult, ShardRunner, ShardTask
+from repro.parallel.worker import worker_main
+from repro.radio.population import UEPopulation
+
+EXECUTORS = ("serial", "spawn")
+
+
+@dataclass
+class ShardedScaleScenario:
+    """A population-scale radio simulation, sharded across workers.
+
+    Parameters
+    ----------
+    population:
+        Declarative fleet description; realized per cell from
+        ``shard.cell<ccc>.*`` streams inside each owning worker.
+    seed:
+        Master seed shared by every shard's registry.
+    horizon_s / window_s:
+        Sampling horizon and window, as in ``ScaleScenario``.
+    workers:
+        Number of shards to execute concurrently (1..n_cells).
+    executor:
+        ``"serial"`` or ``"spawn"`` (see module docstring).
+    interaction_delay_s:
+        Minimum cross-shard interaction delay bounding the conservative
+        sync window; ``None`` declares the shards decoupled (the default
+        for the pure sampling workload, where no cross-shard message
+        exists). Pass
+        :data:`~repro.parallel.plan.CSPOT_TRANSFER_FLOOR_S` to model the
+        CSPOT transfer floor.
+    faults:
+        Chaos faults, each routed to the worker owning its cell.
+    relative_error:
+        Error bound of the per-cell throughput sketches.
+    """
+
+    population: UEPopulation
+    seed: int = 0
+    horizon_s: float = 60.0
+    window_s: float = 10.0
+    workers: int = 1
+    executor: str = "spawn"
+    interaction_delay_s: Optional[float] = None
+    faults: tuple[CellFault, ...] = ()
+    relative_error: float = 0.01
+    #: Per-worker timing side channel from the last spawn run (empty for
+    #: serial); wall-clock data stays out of the canonical report.
+    last_timings: list[dict[str, Any]] = field(
+        default_factory=list, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive: {self.horizon_s}")
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be positive: {self.window_s}")
+        if self.window_s > self.horizon_s:
+            raise ValueError(
+                f"window_s {self.window_s} exceeds horizon_s {self.horizon_s}"
+            )
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; valid: {EXECUTORS}"
+            )
+        # Fails fast on workers < 1 or workers > n_cells.
+        self.plan: ShardPlan = ShardPlan.build(
+            self.population.n_cells, self.workers
+        )
+
+    @property
+    def n_windows(self) -> int:
+        return int(self.horizon_s // self.window_s)
+
+    def _tasks(self) -> list[ShardTask]:
+        routed = self.plan.route_faults(self.faults)
+        return [
+            ShardTask(
+                population=self.population,
+                seed=self.seed,
+                horizon_s=self.horizon_s,
+                window_s=self.window_s,
+                cells=cells,
+                faults=routed[w],
+                relative_error=self.relative_error,
+            )
+            for w, cells in enumerate(self.plan.assignments)
+        ]
+
+    def _barriers(self) -> tuple[float, ...]:
+        return self.plan.barrier_times(
+            self.horizon_s, self.window_s, self.interaction_delay_s
+        )
+
+    # -- executors ---------------------------------------------------------------
+
+    def _run_serial(self) -> list[CellShardResult]:
+        runners = [ShardRunner(task) for task in self._tasks()]
+        for barrier_t in self._barriers():
+            for runner in runners:
+                runner.advance(barrier_t)
+        results: list[CellShardResult] = []
+        for runner in runners:
+            results.extend(runner.finish())
+        return results
+
+    def _run_spawn(self) -> list[CellShardResult]:
+        ctx = mp.get_context("spawn")
+        tasks = self._tasks()
+        processes: list[mp.process.BaseProcess] = []
+        pipes: list[Connection] = []
+        results: list[CellShardResult] = []
+        self.last_timings = []
+        try:
+            for task in tasks:
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                process = ctx.Process(
+                    target=worker_main, args=(child_conn,), daemon=True
+                )
+                process.start()
+                child_conn.close()  # the worker holds its own end
+                parent_conn.send(task)
+                processes.append(process)
+                pipes.append(parent_conn)
+            for barrier_t in self._barriers():
+                for conn in pipes:
+                    conn.send(("advance", barrier_t))
+                for conn in pipes:
+                    self._expect(conn.recv(), "done")
+            for conn in pipes:
+                conn.send(("finish",))
+            for conn in pipes:
+                reply = self._expect(conn.recv(), "results")
+                results.extend(reply[1])
+                self.last_timings.append(dict(reply[2]))
+            for process in processes:
+                process.join(timeout=30.0)
+        finally:
+            for conn in pipes:
+                conn.close()
+            for process in processes:
+                if process.is_alive():  # pragma: no cover - crash cleanup
+                    process.terminate()
+                    process.join(timeout=5.0)
+        return results
+
+    @staticmethod
+    def _expect(message: tuple[Any, ...], kind: str) -> tuple[Any, ...]:
+        if message[0] == "error":
+            raise RuntimeError(f"shard worker failed: {message[1]}")
+        if message[0] != kind:
+            raise RuntimeError(
+                f"protocol violation: expected {kind!r}, got {message[0]!r}"
+            )
+        return message
+
+    # -- the run -----------------------------------------------------------------
+
+    def run(self) -> ParallelReport:
+        """Execute every shard and merge the results canonically."""
+        if self.executor == "serial":
+            results = self._run_serial()
+        else:
+            results = self._run_spawn()
+        results.sort(key=lambda r: r.cell_index)
+        merged_sketch = merge_sketches(
+            (r.sketch for r in results), self.relative_error
+        )
+        trace = merge_streams([r.records for r in results])
+        per_cell_ues = tuple(r.n_ues for r in results)
+        samples = sum(r.samples for r in results)
+        # fsum over cell-ordered per-cell sums would equal merged_sketch.sum
+        # (exact partials); use the sketch so one code path owns the sum.
+        mean_bps = (
+            merged_sketch.sum / merged_sketch.count
+            if merged_sketch.count
+            else fsum_ordered(())
+        )
+        return ParallelReport(
+            n_cells=self.plan.n_cells,
+            total_ues=sum(per_cell_ues),
+            sim_seconds=self.horizon_s,
+            n_windows=self.n_windows,
+            events_processed=sum(r.events for r in results),
+            samples_generated=samples,
+            aggregate_mean_bps=mean_bps,
+            per_cell_ues=per_cell_ues,
+            sketch=merged_sketch.to_dict(),
+            trace=tuple(trace),
+        )

@@ -1,0 +1,174 @@
+"""Shard topology: which worker owns which cells, and what that implies.
+
+The deterministic partition unit is the **cell** (one farm/site in the
+paper's multi-farm reading): cell indices are stable properties of the
+scenario, so everything keyed by cell -- RNG stream names, trace shard
+ids, fault routing -- is invariant under the worker count. Workers are an
+execution detail: a :class:`ShardPlan` maps the ``n_cells`` stable shards
+onto ``n_workers`` processes in contiguous balanced blocks (the
+``decompose_slabs`` idiom from :mod:`repro.cfd.parallel`), and nothing a
+worker computes depends on which block it drew.
+
+The plan also derives the conservative synchronization window: workers
+may only advance ``sync_window_s`` past the last global barrier, where
+``sync_window_s`` is bounded by the minimum cross-shard interaction delay
+(for this fabric, the CSPOT transfer latency floor -- no message can
+affect another shard sooner than it can cross the 5G + backhaul path).
+``interaction_delay_s=None`` declares the shards fully decoupled, in
+which case the sampling window itself is the natural barrier quantum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+#: Conservative default for the minimum cross-shard interaction delay:
+#: the paper's measured ~200 ms sensor->HPC CSPOT transfer floor
+#: (section 4.4); no cross-shard effect can propagate faster.
+CSPOT_TRANSFER_FLOOR_S = 0.2
+
+
+def shard_stream(cell_index: int, purpose: str) -> str:
+    """Canonical per-shard RNG stream name: ``shard.cell<ccc>.<purpose>``.
+
+    Keyed by the *cell* index -- the stable shard id -- never by the
+    worker that happens to run it, so shard count never changes any
+    stream's draws.
+    """
+    if cell_index < 0:
+        raise ValueError(f"negative cell index: {cell_index}")
+    if not purpose:
+        raise ValueError("empty stream purpose")
+    return f"shard.cell{cell_index:03d}.{purpose}"
+
+
+@dataclass(frozen=True)
+class CellFault:
+    """A chaos fault routed to the shard owning ``cell_index``.
+
+    The fault derates every sample the cell produces in sampling window
+    ``window`` (a radio fade / capacity loss on that farm's cell).
+    Deterministic by construction: the derate applies to the cell's own
+    sample block, which is identical regardless of worker count.
+    """
+
+    cell_index: int
+    window: int
+    derate: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.cell_index < 0:
+            raise ValueError(f"negative cell index: {self.cell_index}")
+        if self.window < 0:
+            raise ValueError(f"negative window: {self.window}")
+        if not 0.0 <= self.derate <= 1.0:
+            raise ValueError(f"derate must be in [0, 1]: {self.derate}")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The cell-to-worker assignment for one sharded run."""
+
+    n_cells: int
+    n_workers: int
+    #: ``assignments[w]`` is the tuple of cell indices worker ``w`` owns,
+    #: contiguous and ascending.
+    assignments: tuple[tuple[int, ...], ...]
+
+    @classmethod
+    def build(cls, n_cells: int, n_workers: int) -> "ShardPlan":
+        """Balanced contiguous blocks; sizes differ by at most one cell."""
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1: {n_workers}")
+        if n_workers > n_cells:
+            raise ValueError(
+                f"cannot give {n_workers} workers at least one of "
+                f"{n_cells} cells"
+            )
+        base, extra = divmod(n_cells, n_workers)
+        assignments: list[tuple[int, ...]] = []
+        start = 0
+        for w in range(n_workers):
+            size = base + (1 if w < extra else 0)
+            assignments.append(tuple(range(start, start + size)))
+            start += size
+        return cls(
+            n_cells=n_cells,
+            n_workers=n_workers,
+            assignments=tuple(assignments),
+        )
+
+    def owner_of(self, cell_index: int) -> int:
+        """The worker id that owns ``cell_index``."""
+        if not 0 <= cell_index < self.n_cells:
+            raise ValueError(
+                f"cell index {cell_index} out of [0, {self.n_cells})"
+            )
+        for w, cells in enumerate(self.assignments):
+            if cells and cells[0] <= cell_index <= cells[-1]:
+                return w
+        raise RuntimeError(  # pragma: no cover - build() covers every cell
+            f"no worker owns cell {cell_index}"
+        )
+
+    def route_faults(
+        self, faults: Sequence[CellFault]
+    ) -> tuple[tuple[CellFault, ...], ...]:
+        """Group faults by owning worker, preserving declaration order.
+
+        Each fault lands exactly on the worker whose shard contains the
+        faulted cell; declaration order is preserved within a worker so
+        stacked faults on one (cell, window) compose deterministically.
+        """
+        routed: list[list[CellFault]] = [[] for _ in range(self.n_workers)]
+        for fault in faults:
+            routed[self.owner_of(fault.cell_index)].append(fault)
+        return tuple(tuple(r) for r in routed)
+
+    def sync_window_s(
+        self, window_s: float, interaction_delay_s: Optional[float]
+    ) -> float:
+        """The conservative barrier quantum for this plan.
+
+        No shard may advance more than the minimum cross-shard
+        interaction delay past the last barrier (events it would receive
+        cannot arrive sooner), so the quantum is
+        ``min(window_s, interaction_delay_s)``. A ``None`` delay declares
+        the shards decoupled: the sampling window is the quantum.
+        """
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive: {window_s}")
+        if interaction_delay_s is None:
+            return window_s
+        if interaction_delay_s <= 0:
+            raise ValueError(
+                f"interaction_delay_s must be positive: {interaction_delay_s}"
+            )
+        return min(window_s, interaction_delay_s)
+
+    def barrier_times(
+        self,
+        horizon_s: float,
+        window_s: float,
+        interaction_delay_s: Optional[float],
+    ) -> tuple[float, ...]:
+        """Every global barrier the coordinator will impose, in order.
+
+        Multiples of the sync quantum up to and including the horizon;
+        the horizon itself is always the final barrier so every shard
+        finishes at the same instant.
+        """
+        if horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive: {horizon_s}")
+        quantum = self.sync_window_s(window_s, interaction_delay_s)
+        times: list[float] = []
+        k = 1
+        while True:
+            t = k * quantum
+            if t >= horizon_s:
+                break
+            times.append(t)
+            k += 1
+        times.append(horizon_s)
+        return tuple(times)

@@ -1,0 +1,67 @@
+"""The merged result of a sharded run, canonical by construction.
+
+A :class:`ParallelReport` contains only quantities that are provably
+invariant under the worker count: integer accounting summed over cells,
+per-cell float statistics reduced with ``fsum`` in cell-index order, the
+exact merged throughput sketch, and the ``(t, shard, seq)``-ordered trace
+stream. Worker count, executor choice, and wall-clock timings are
+deliberately *absent* -- they live on the scenario object -- so
+``canonical_json()`` (and therefore ``digest``) is byte-identical for
+shard counts 1, 2, 4, 8 of the same seeded scenario.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any
+
+from repro.parallel.merge import canonical_json, canonical_jsonl
+
+
+@dataclass(frozen=True)
+class ParallelReport:
+    """What a sharded scale run did, merged across every shard."""
+
+    n_cells: int
+    total_ues: int
+    sim_seconds: float
+    n_windows: int
+    events_processed: int
+    samples_generated: int
+    #: ``merged_sketch.sum / merged_sketch.count`` -- exact, so invariant.
+    aggregate_mean_bps: float
+    per_cell_ues: tuple[int, ...]
+    #: Merged throughput sketch snapshot (``QuantileSketch.to_dict``).
+    sketch: dict[str, Any]
+    #: Merged trace records in ``(t, shard, seq)`` total order.
+    trace: tuple[dict[str, Any], ...]
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-ready payload (everything but the trace stream)."""
+        return {
+            "n_cells": self.n_cells,
+            "total_ues": self.total_ues,
+            "sim_seconds": self.sim_seconds,
+            "n_windows": self.n_windows,
+            "events_processed": self.events_processed,
+            "samples_generated": self.samples_generated,
+            "aggregate_mean_mbps": self.aggregate_mean_bps / 1e6,
+            "per_cell_ues": list(self.per_cell_ues),
+            "sketch": self.sketch,
+        }
+
+    def canonical_json(self) -> str:
+        """The canonical byte form asserted identical across shard counts."""
+        payload = self.to_json()
+        payload["trace"] = list(self.trace)
+        return canonical_json(payload)
+
+    def trace_jsonl(self) -> str:
+        """The merged trace stream as canonical JSONL."""
+        return canonical_jsonl(self.trace)
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 of the canonical bytes -- the shard-identity fingerprint."""
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()

@@ -1,0 +1,171 @@
+"""The shard-local half of a sharded run: one engine, a few cells.
+
+A :class:`ShardRunner` owns a contiguous block of cells from the plan and
+advances them window by window under the coordinator's barriers. All of
+its randomness comes from per-cell named streams
+(:func:`~repro.parallel.plan.shard_stream`), all of its output is keyed
+by cell index, and each cell's windows are processed in increasing order
+-- together these make every number a runner produces a function of
+``(master seed, cell index, window)`` alone, never of the worker layout.
+
+The runner is executor-agnostic: the serial executor drives the same
+class in-process that :mod:`repro.parallel.worker` drives inside a
+spawned process, so the two paths cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.obs.stream import QuantileSketch
+from repro.parallel.plan import CellFault, shard_stream
+from repro.radio.population import CellPopulation, UEPopulation
+from repro.simkernel.engine import Engine
+from repro.simkernel.events import Event
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything a worker needs to run its shard (picklable for spawn)."""
+
+    population: UEPopulation
+    seed: int
+    horizon_s: float
+    window_s: float
+    cells: tuple[int, ...]
+    faults: tuple[CellFault, ...] = ()
+    relative_error: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise ValueError("a shard task must own at least one cell")
+        if self.horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive: {self.horizon_s}")
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be positive: {self.window_s}")
+        owned = set(self.cells)
+        for fault in self.faults:
+            if fault.cell_index not in owned:
+                raise ValueError(
+                    f"fault on cell {fault.cell_index} routed to a shard "
+                    f"owning {sorted(owned)}"
+                )
+
+
+@dataclass
+class CellShardResult:
+    """One cell's complete contribution, shipped back at FINISH."""
+
+    cell_index: int
+    n_ues: int
+    samples: int
+    events: int
+    #: Exact per-cell throughput sketch; merged at the coordinator in
+    #: cell-index order (pickles exactly: bins are ints, partials doubles).
+    sketch: QuantileSketch
+    #: Sim-time-ordered trace records, each carrying the total-order key
+    #: ``(t, shard=cell_index, seq=window)``.
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+
+class ShardRunner:
+    """Advances one shard's cells window by window on a local engine."""
+
+    def __init__(self, task: ShardTask) -> None:
+        self.task = task
+        self.engine = Engine(seed=task.seed)
+        counts = task.population.cell_counts(self.engine.rngs)
+        cells = task.population.realize_cells(
+            self.engine.rngs, task.cells, counts
+        )
+        self._cells: dict[int, CellPopulation] = dict(zip(task.cells, cells))
+        self._rngs = {
+            c: self.engine.rng(shard_stream(c, "radio")) for c in task.cells
+        }
+        self._samples_per_window = max(int(round(task.window_s)), 1)
+        self._n_windows = int(task.horizon_s // task.window_s)
+        #: Multiplicative derate per (cell, window): stacked faults compose.
+        self._derates: dict[tuple[int, int], float] = {}
+        for fault in task.faults:
+            key = (fault.cell_index, fault.window)
+            self._derates[key] = self._derates.get(key, 1.0) * fault.derate
+        self._results: dict[int, CellShardResult] = {
+            c: CellShardResult(
+                cell_index=c,
+                n_ues=self._cells[c].n_ues,
+                samples=0,
+                events=0,
+                sketch=QuantileSketch.identity(task.relative_error),
+            )
+            for c in task.cells
+        }
+        self._events_drained = 0
+        # The full calendar up front, exactly like ScaleScenario: every
+        # owned cell's window event on the shared boundary timestamp (the
+        # same-timestamp storm the calendar queue batches in O(1)).
+        for w in range(self._n_windows):
+            when = w * task.window_s
+            for c in task.cells:
+                self.engine.schedule_at(when).add_callback(
+                    self._make_sampler(c, w)
+                )
+
+    @property
+    def n_windows(self) -> int:
+        return self._n_windows
+
+    @property
+    def events_drained(self) -> int:
+        return self._events_drained
+
+    def _make_sampler(
+        self, cell_index: int, window: int
+    ) -> Callable[[Event], None]:
+        cell = self._cells[cell_index]
+        rng = self._rngs[cell_index]
+        result = self._results[cell_index]
+        n_samples = self._samples_per_window
+        # None = no fault on this (cell, window); avoids a float sentinel.
+        derate = self._derates.get((cell_index, window))
+
+        def _sample(_event: Event) -> None:
+            block = cell.uplink_matrix(rng, n_samples)
+            if derate is not None:
+                block = block * derate
+            result.sketch.add_array(block)
+            result.samples += block.size
+            result.events += 1
+            result.records.append({
+                "t": self.engine.now,
+                "shard": cell_index,
+                "seq": window,
+                "kind": "window.sample",
+                "cell": cell.name,
+                "n_ues": cell.n_ues,
+                "samples": int(block.size),
+                "sum_bps": float(block.sum()),
+                "derate": 1.0 if derate is None else derate,
+            })
+
+        return _sample
+
+    def advance(self, barrier_t: float) -> int:
+        """Drain every event up to the barrier; return events processed.
+
+        The conservative protocol's shard-side step: the coordinator
+        guarantees no cross-shard influence can land before ``barrier_t``,
+        so everything up to it is safe to process.
+        """
+        n = self.engine.drain_window(barrier_t)
+        self._events_drained += n
+        return n
+
+    def finish(self) -> list[CellShardResult]:
+        """Per-cell results in cell-index order (ascending, stable)."""
+        if len(self.engine) != 0:
+            raise RuntimeError(
+                f"shard finished with {len(self.engine)} pending events; "
+                "advance() must reach the horizon first"
+            )
+        return [self._results[c] for c in sorted(self._results)]

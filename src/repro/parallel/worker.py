@@ -1,0 +1,68 @@
+"""The spawned worker process: a pipe-driven loop around a ShardRunner.
+
+Protocol (coordinator -> worker, worker -> coordinator), all messages
+pickled over a ``multiprocessing`` duplex pipe:
+
+==================  =============================================
+``("advance", t)``  drain the shard to barrier ``t``; reply
+                    ``("done", t, events_processed)``
+``("finish",)``     reply ``("results", [CellShardResult, ...],
+                    timings)`` and exit the loop
+==================  =============================================
+
+The task itself arrives as the first message, so the spawned interpreter
+only needs the module import path -- the **spawn** start method is the
+whole point: a fresh interpreter with no inherited RNG state, no
+copy-on-write heap, and the same behaviour on every platform. (The
+``repro.lint`` REPRO404 rule bans fork-context multiprocessing precisely
+because a forked child inherits the parent's RNG registry state mid-run.)
+
+Wall-clock note: this module is one of the deliberate REPRO101 allowlist
+seams (like the CFD solver's perf probe). The worker measures its own
+compute wall time so the benchmark harness can model parallel efficiency
+on machines with fewer cores than workers; the timings travel in a
+separate side channel and are excluded from every canonical report.
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing.connection import Connection
+from typing import Any
+
+from repro.parallel.shard import ShardRunner, ShardTask
+
+
+def worker_main(conn: Connection) -> None:
+    """Run one shard behind a pipe; the spawn entry point."""
+    try:
+        task = conn.recv()
+        if not isinstance(task, ShardTask):
+            raise TypeError(f"expected a ShardTask first, got {type(task)!r}")
+        runner = ShardRunner(task)
+        compute_wall = 0.0
+        while True:
+            message: tuple[Any, ...] = conn.recv()
+            if message[0] == "advance":
+                barrier_t = float(message[1])
+                t0 = time.perf_counter()
+                events = runner.advance(barrier_t)
+                compute_wall += time.perf_counter() - t0
+                conn.send(("done", barrier_t, events))
+            elif message[0] == "finish":
+                results = runner.finish()
+                timings = {
+                    "compute_wall_s": compute_wall,
+                    "cells": len(task.cells),
+                }
+                conn.send(("results", results, timings))
+                return
+            else:
+                raise ValueError(f"unknown command: {message[0]!r}")
+    except Exception as error:  # ship the failure instead of hanging the pipe
+        try:
+            conn.send(("error", repr(error)))
+        finally:
+            raise
+    finally:
+        conn.close()

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -311,6 +311,63 @@ class UEPopulation:
             ue_id="template", device=device, modem=modem, sim=sim, channel=chan
         )
 
+    def cell_counts(self, rngs: RngRegistry) -> np.ndarray:
+        """Per-cell UE counts from the ``<prefix>.cells`` stream.
+
+        One vectorized draw covering every cell, so any consumer -- the
+        single-process :meth:`realize` or each :mod:`repro.parallel`
+        worker computing only its owned cells -- sees the identical count
+        vector from the same master seed.
+        """
+        return np.maximum(
+            np.rint(
+                self.ues_per_cell.sample(
+                    rngs.get(f"{self.stream_prefix}.cells"), self.n_cells
+                )
+            ).astype(np.int64),
+            1,
+        )
+
+    def _cell_from_arrays(
+        self,
+        cell_index: int,
+        n: int,
+        mean_cqi: np.ndarray,
+        gain: np.ndarray,
+        carrier: CarrierConfig,
+        sdr: SdrFrontEnd,
+        template: UserEquipment,
+        profile: _DeviceProfile,
+    ) -> CellPopulation:
+        chan = template.channel
+        width = len(str(max(n - 1, 1)))
+        ue_ids = [f"cell{cell_index:03d}-ue{j:0{width}d}" for j in range(n)]
+        state = UeStateArrays.broadcast(
+            ue_ids=ue_ids,
+            mean_cqi=mean_cqi,
+            gain=gain,
+            cqi_sigma=chan.cqi_sigma,
+            fading_sigma=chan.fading_sigma,
+            combined_eff=profile.combined_eff,
+            cap_bps=profile.cap_bps,
+        )
+        return CellPopulation(
+            name=f"cell{cell_index:03d}",
+            carrier=carrier,
+            sdr=sdr,
+            state=state,
+            template=template,
+        )
+
+    def _device_profile(
+        self, carrier: CarrierConfig, template: UserEquipment
+    ) -> _DeviceProfile:
+        tech, duplex = carrier.technology, carrier.duplex
+        return _DeviceProfile(
+            combined_eff=template.combined_efficiency(tech, duplex),
+            cap_bps=template.uplink_cap_bps(tech, duplex),
+        )
+
     def realize(self, rngs: RngRegistry) -> list[CellPopulation]:
         """Draw the whole population into per-cell state arrays.
 
@@ -322,20 +379,8 @@ class UEPopulation:
         """
         carrier, sdr, _ = self._flavour()
         template = self._template()
-        tech, duplex = carrier.technology, carrier.duplex
-        profile = _DeviceProfile(
-            combined_eff=template.combined_efficiency(tech, duplex),
-            cap_bps=template.uplink_cap_bps(tech, duplex),
-        )
-        chan = template.channel
-        counts = np.maximum(
-            np.rint(
-                self.ues_per_cell.sample(
-                    rngs.get(f"{self.stream_prefix}.cells"), self.n_cells
-                )
-            ).astype(np.int64),
-            1,
-        )
+        profile = self._device_profile(carrier, template)
+        counts = self.cell_counts(rngs)
         chan_rng = rngs.get(f"{self.stream_prefix}.channel")
         gain_rng = rngs.get(f"{self.stream_prefix}.gain")
         cells = []
@@ -343,23 +388,56 @@ class UEPopulation:
             n = int(n)
             mean_cqi = np.clip(self.mean_cqi.sample(chan_rng, n), 1.0, 15.0)
             gain = np.maximum(self.gain_spread.sample(gain_rng, n), 1e-3)
-            width = len(str(max(n - 1, 1)))
-            ue_ids = [f"cell{c:03d}-ue{j:0{width}d}" for j in range(n)]
-            state = UeStateArrays.broadcast(
-                ue_ids=ue_ids,
-                mean_cqi=mean_cqi,
-                gain=gain,
-                cqi_sigma=chan.cqi_sigma,
-                fading_sigma=chan.fading_sigma,
-                combined_eff=profile.combined_eff,
-                cap_bps=profile.cap_bps,
+            cells.append(self._cell_from_arrays(
+                c, n, mean_cqi, gain, carrier, sdr, template, profile
+            ))
+        return cells
+
+    def realize_cells(
+        self,
+        rngs: RngRegistry,
+        cell_indices: Sequence[int],
+        counts: Optional[np.ndarray] = None,
+        stream_prefix: str = "shard",
+    ) -> list[CellPopulation]:
+        """Realize only the given cells, from **per-cell** named streams.
+
+        This is the sharded-path counterpart of :meth:`realize`: cell
+        ``c`` draws its per-UE operating points from
+        ``<stream_prefix>.cell<ccc>.channel`` and its link gains from
+        ``<stream_prefix>.cell<ccc>.gain`` -- streams keyed by the cell's
+        stable index, never by which worker realizes it. A worker owning
+        cells ``{3, 7}`` therefore realizes bit-identical state whether it
+        shares the run with 0 or 7 other workers (the
+        :mod:`repro.parallel` determinism invariant).
+
+        Note the stream layout intentionally differs from
+        :meth:`realize`'s shared sequential streams; the two paths are
+        distinct canonical layouts, each internally deterministic.
+        """
+        carrier, sdr, _ = self._flavour()
+        template = self._template()
+        profile = self._device_profile(carrier, template)
+        if counts is None:
+            counts = self.cell_counts(rngs)
+        if len(counts) != self.n_cells:
+            raise ValueError(
+                f"counts has {len(counts)} entries for {self.n_cells} cells"
             )
-            cells.append(CellPopulation(
-                name=f"cell{c:03d}",
-                carrier=carrier,
-                sdr=sdr,
-                state=state,
-                template=template,
+        cells = []
+        for c in cell_indices:
+            c = int(c)
+            if not 0 <= c < self.n_cells:
+                raise ValueError(
+                    f"cell index {c} out of [0, {self.n_cells})"
+                )
+            n = int(counts[c])
+            chan_rng = rngs.get(f"{stream_prefix}.cell{c:03d}.channel")
+            gain_rng = rngs.get(f"{stream_prefix}.cell{c:03d}.gain")
+            mean_cqi = np.clip(self.mean_cqi.sample(chan_rng, n), 1.0, 15.0)
+            gain = np.maximum(self.gain_spread.sample(gain_rng, n), 1e-3)
+            cells.append(self._cell_from_arrays(
+                c, n, mean_cqi, gain, carrier, sdr, template, profile
             ))
         return cells
 

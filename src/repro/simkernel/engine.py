@@ -178,6 +178,29 @@ class Engine:
         """Time of the next scheduled event, or ``inf`` if none."""
         return self._times[0] if self._times else float("inf")
 
+    def drain_window(self, until: float) -> int:
+        """Process every event with ``time <= until``, then pin the clock.
+
+        This is the shard-side half of the conservative window-barrier
+        protocol in :mod:`repro.parallel`: a shard-local engine advances
+        exactly to the barrier time -- including events that processed
+        events schedule inside the window -- and reports how many events
+        it drained, so the coordinator can account for the window before
+        releasing the next one. Unlike :meth:`run`, the event count is
+        returned (``run(until=...)`` returns ``None``).
+        """
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(
+                f"drain_window until {horizon} is in the past ({self._now})"
+            )
+        n = 0
+        while self._times and self._times[0] <= horizon:
+            self.step()
+            n += 1
+        self._now = horizon
+        return n
+
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the simulation.
 

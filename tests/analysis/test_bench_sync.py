@@ -1,0 +1,102 @@
+"""The benchmark-artifact sync helper: audit, sync, and the CLI contract."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+
+from benchmarks.sync_artifacts import audit, main, sync  # noqa: E402
+
+
+@pytest.fixture
+def tree(tmp_path):
+    root = tmp_path
+    artifacts = root / "benchmarks" / "_artifacts"
+    artifacts.mkdir(parents=True)
+    return root, artifacts
+
+
+def _write(path: Path, payload):
+    path.write_text(json.dumps(payload, sort_keys=True))
+
+
+class TestAudit:
+    def test_in_sync_pair(self, tree):
+        root, artifacts = tree
+        _write(artifacts / "BENCH_x.json", {"a": 1})
+        _write(root / "BENCH_x.json", {"a": 1})
+        statuses = audit(root, artifacts)
+        assert [(s.name, s.status) for s in statuses] == [
+            ("BENCH_x.json", "in-sync")
+        ]
+        assert statuses[0].ok
+
+    def test_divergence_detected_bytewise(self, tree):
+        root, artifacts = tree
+        _write(artifacts / "BENCH_x.json", {"a": 1})
+        # Same JSON value, different bytes: still a divergence.
+        (root / "BENCH_x.json").write_text('{"a":1}')
+        assert audit(root, artifacts)[0].status == "diverged"
+
+    def test_missing_mirror_and_orphan(self, tree):
+        root, artifacts = tree
+        _write(artifacts / "BENCH_new.json", {"a": 1})
+        _write(root / "BENCH_old.json", {"b": 2})
+        statuses = {s.name: s.status for s in audit(root, artifacts)}
+        assert statuses == {
+            "BENCH_new.json": "missing-mirror",
+            "BENCH_old.json": "orphan-mirror",
+        }
+
+    def test_non_bench_files_ignored(self, tree):
+        root, artifacts = tree
+        _write(artifacts / "fig3_metrics.json", {"a": 1})
+        _write(root / "README.json", {"b": 2})
+        assert audit(root, artifacts) == []
+
+
+class TestSync:
+    def test_sync_copies_canonical_over_stale_mirror(self, tree):
+        root, artifacts = tree
+        _write(artifacts / "BENCH_x.json", {"a": 2})
+        _write(root / "BENCH_x.json", {"a": 1})
+        actions = sync(root, artifacts)
+        assert actions[0].status == "synced"
+        assert (root / "BENCH_x.json").read_bytes() == (
+            artifacts / "BENCH_x.json"
+        ).read_bytes()
+
+    def test_sync_creates_missing_mirror(self, tree):
+        root, artifacts = tree
+        _write(artifacts / "BENCH_x.json", {"a": 1})
+        sync(root, artifacts)
+        assert (root / "BENCH_x.json").exists()
+
+    def test_sync_never_deletes_orphans(self, tree):
+        root, artifacts = tree
+        _write(root / "BENCH_orphan.json", {"b": 2})
+        actions = sync(root, artifacts)
+        assert actions[0].status == "orphan-mirror"
+        assert (root / "BENCH_orphan.json").exists()
+
+    def test_sync_is_idempotent(self, tree):
+        root, artifacts = tree
+        _write(artifacts / "BENCH_x.json", {"a": 1})
+        sync(root, artifacts)
+        assert [a.status for a in sync(root, artifacts)] == ["in-sync"]
+
+
+class TestRepoInvariant:
+    """The real repo must satisfy the invariant the CI gate enforces."""
+
+    def test_checked_in_artifacts_are_in_sync(self):
+        assert all(p.ok for p in audit()), [
+            (p.name, p.status) for p in audit() if not p.ok
+        ]
+
+    def test_cli_check_passes_on_repo(self, capsys):
+        assert main(["--check"]) == 0
+        assert "in sync" in capsys.readouterr().out

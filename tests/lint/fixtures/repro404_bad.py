@@ -1,0 +1,22 @@
+"""Fixture: ad-hoc process parallelism and fork-based start methods."""
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+
+def fan_out(tasks):
+    with multiprocessing.Pool(4) as pool:
+        return pool.map(str, tasks)
+
+
+def fork_context():
+    return multiprocessing.get_context("fork")
+
+
+def raw_fork():
+    return os.fork()
+
+
+def executor(tasks):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(str, tasks))

@@ -1,0 +1,16 @@
+"""Fixture: process parallelism goes through the sharded scenario."""
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.parallel import ShardedScaleScenario
+
+
+def fan_out(population):
+    scenario = ShardedScaleScenario(
+        population=population, workers=4, executor="spawn"
+    )
+    return scenario.run()
+
+
+def threads_are_fine(tasks):
+    with ThreadPoolExecutor() as pool:
+        return list(pool.map(str, tasks))

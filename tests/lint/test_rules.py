@@ -145,6 +145,72 @@ class TestUnseededVariants:
         )
 
 
+class TestProcessParallelism:
+    """REPRO404: fork is banned outright; spawn only inside repro.parallel."""
+
+    POOL = "import multiprocessing\n\np = multiprocessing.Pool(4)\n"
+    SPAWN_CTX = (
+        "import multiprocessing\n\nctx = multiprocessing.get_context('spawn')\n"
+    )
+    FORK_CTX = (
+        "import multiprocessing\n\nctx = multiprocessing.get_context('fork')\n"
+    )
+    OS_FORK = "import os\n\npid = os.fork()\n"
+
+    def test_pool_flagged_outside_parallel(self):
+        for path in ("src/repro/core/scale.py", "tests/core/test_scale.py"):
+            assert any(
+                v.code == "REPRO404" for v in lint_source(self.POOL, path=path)
+            ), path
+
+    def test_spawn_context_sanctioned_inside_parallel(self):
+        for path in (
+            "src/repro/parallel/coordinator.py",
+            "tests/parallel/test_sharded_determinism.py",
+        ):
+            assert lint_source(self.SPAWN_CTX, path=path) == [], path
+
+    def test_fork_context_banned_even_inside_parallel(self):
+        assert any(
+            v.code == "REPRO404"
+            for v in lint_source(
+                self.FORK_CTX, path="src/repro/parallel/coordinator.py"
+            )
+        )
+
+    def test_forkserver_keyword_banned(self):
+        src = (
+            "import multiprocessing\n\n"
+            "multiprocessing.set_start_method(method='forkserver')\n"
+        )
+        assert any(
+            v.code == "REPRO404"
+            for v in lint_source(src, path="src/repro/parallel/worker.py")
+        )
+
+    def test_os_fork_banned_everywhere(self):
+        for path in (
+            "src/repro/parallel/worker.py",
+            "tests/parallel/test_plan.py",
+            "benchmarks/test_parallel_perf.py",
+        ):
+            assert any(
+                v.code == "REPRO404"
+                for v in lint_source(self.OS_FORK, path=path)
+            ), path
+
+    def test_thread_pool_not_confused_with_process_pool(self):
+        src = (
+            "from concurrent.futures import ThreadPoolExecutor\n\n"
+            "pool = ThreadPoolExecutor()\n"
+        )
+        assert lint_source(src, path="src/repro/cfd/parallel.py") == []
+
+    def test_shard_worker_may_read_wall_clock(self):
+        src = "import time\n\n\ndef probe():\n    return time.perf_counter()\n"
+        assert lint_source(src, path="src/repro/parallel/worker.py") == []
+
+
 def test_syntax_error_becomes_repro000():
     violations = lint_source("def broken(:\n", path="src/repro/x.py")
     assert [v.code for v in violations] == ["REPRO000"]

@@ -1,0 +1,129 @@
+"""Property tests: the merge algebra behind sharded aggregation is exact.
+
+`QuantileSketch.merge` must form a commutative monoid with
+`QuantileSketch.identity` as the unit, and `StreamAggregator.merge` must
+reproduce the unsharded snapshot byte-for-byte for *any* partition of the
+event stream -- these are the algebraic facts `repro.parallel` relies on
+for worker-count-invariant reports.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.stream import QuantileSketch, StreamAggregator
+
+REL_ERR = 0.01
+
+finite_values = st.floats(
+    min_value=-1e12,
+    max_value=1e12,
+    allow_nan=False,
+    allow_infinity=False,
+    width=64,
+)
+
+value_lists = st.lists(finite_values, max_size=60)
+
+metric_events = st.lists(
+    st.tuples(
+        st.sampled_from(["radio.tput_mbps", "e2e.latency_s", "hpc.queue"]),
+        finite_values,
+        st.sampled_from([{}, {"cell": "a"}, {"cell": "b", "ue": "gw"}]),
+    ),
+    max_size=80,
+)
+
+
+def _sketch(values):
+    s = QuantileSketch.identity(REL_ERR)
+    for v in values:
+        s.add(v)
+    return s
+
+
+def _merged(*sketches):
+    out = QuantileSketch.identity(REL_ERR)
+    for s in sketches:
+        out.merge(s)
+    return out
+
+
+class TestSketchMonoid:
+    @given(value_lists, value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutative(self, a, b):
+        ab = _merged(_sketch(a), _sketch(b))
+        ba = _merged(_sketch(b), _sketch(a))
+        assert ab.to_dict() == ba.to_dict()
+
+    @given(value_lists, value_lists, value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_associative(self, a, b, c):
+        left = _merged(_merged(_sketch(a), _sketch(b)), _sketch(c))
+        right = _merged(_sketch(a), _merged(_sketch(b), _sketch(c)))
+        assert left.to_dict() == right.to_dict()
+
+    @given(value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_identity_is_a_unit(self, a):
+        plain = _sketch(a).to_dict()
+        assert _merged(_sketch(a), QuantileSketch.identity(REL_ERR)).to_dict() == plain
+        assert _merged(QuantileSketch.identity(REL_ERR), _sketch(a)).to_dict() == plain
+
+    @given(value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_concatenation(self, a):
+        # Every 2-way split of the list merges back to the whole.
+        whole = _sketch(a).to_dict()
+        for cut in range(len(a) + 1):
+            split = _merged(_sketch(a[:cut]), _sketch(a[cut:]))
+            assert split.to_dict() == whole
+
+
+class TestVectorizedIngest:
+    @given(value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_add_array_matches_scalar_adds(self, a):
+        scalar = _sketch(a)
+        vector = QuantileSketch.identity(REL_ERR)
+        vector.add_array(np.asarray(a, dtype=np.float64))
+        assert vector.to_dict() == scalar.to_dict()
+
+
+class TestAggregatorPartition:
+    @given(metric_events, st.lists(st.integers(0, 3), max_size=80), st.integers(2, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_any_partition_reproduces_unsharded_snapshot(
+        self, events, owners, n_shards
+    ):
+        unsharded = StreamAggregator(relative_error=REL_ERR)
+        for name, value, labels in events:
+            unsharded.on_metric(name, value, labels)
+
+        shards = [
+            StreamAggregator(relative_error=REL_ERR) for _ in range(n_shards)
+        ]
+        for i, (name, value, labels) in enumerate(events):
+            owner = owners[i % len(owners)] % n_shards if owners else 0
+            shards[owner].on_metric(name, value, labels)
+
+        merged = StreamAggregator(relative_error=REL_ERR)
+        for shard in shards:
+            merged.merge(shard)
+
+        assert merged.to_json() == unsharded.to_json()
+
+    @given(metric_events)
+    @settings(max_examples=40, deadline=None)
+    def test_merge_order_is_irrelevant(self, events):
+        shards = [StreamAggregator(relative_error=REL_ERR) for _ in range(3)]
+        for i, (name, value, labels) in enumerate(events):
+            shards[i % 3].on_metric(name, value, labels)
+        forward = StreamAggregator(relative_error=REL_ERR)
+        for shard in shards:
+            forward.merge(shard)
+        backward = StreamAggregator(relative_error=REL_ERR)
+        for shard in reversed(shards):
+            backward.merge(shard)
+        assert forward.to_json() == backward.to_json()

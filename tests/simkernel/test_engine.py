@@ -188,3 +188,39 @@ def test_named_streams_independent_of_creation_order():
     draws_a = a.rng("second").random(3)
     draws_b = b.rng("second").random(3)  # "first" never created on b
     assert draws_a.tolist() == draws_b.tolist()
+
+
+class TestDrainWindow:
+    """Window-barrier draining (the repro.parallel shard-side primitive)."""
+
+    def test_drains_events_up_to_and_including_horizon(self):
+        eng = Engine()
+        fired = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            eng.schedule_at(t).add_callback(
+                lambda ev, t=t: fired.append(t)
+            )
+        n = eng.drain_window(2.0)
+        assert n == 2
+        assert fired == [1.0, 2.0]
+        assert len(eng) == 2
+
+    def test_pins_clock_to_barrier_even_with_no_events(self):
+        eng = Engine()
+        assert eng.drain_window(7.5) == 0
+        assert eng.now == 7.5
+
+    def test_sequential_windows_partition_the_calendar(self):
+        eng = Engine()
+        for t in (0.5, 1.5, 2.5):
+            eng.schedule_at(t)
+        total = sum(eng.drain_window(b) for b in (1.0, 2.0, 3.0))
+        assert total == 3
+        assert eng.now == 3.0
+        assert len(eng) == 0
+
+    def test_past_barrier_rejected(self):
+        eng = Engine()
+        eng.drain_window(5.0)
+        with pytest.raises(SimulationError):
+            eng.drain_window(4.0)
