@@ -52,6 +52,7 @@ from repro.chaos.report import (
     build_report,
     masked_downtime_s,
 )
+from repro.chaos.shardfaults import ShardChaosCampaign
 
 __all__ = [
     "ChaosCampaign",
@@ -73,6 +74,7 @@ __all__ = [
     "RadioFadeInjector",
     "ResilienceReport",
     "RetryPolicy",
+    "ShardChaosCampaign",
     "UePowerLossInjector",
     "audit_delivery",
     "build_report",

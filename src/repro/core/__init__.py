@@ -30,6 +30,7 @@ from repro.core.e2e import (
 )
 from repro.core.scenario import Scenario, ScenarioResult
 from repro.core.scale import ScaleReport, ScaleScenario
+from repro.core.fabric_sharded import ShardedFabricScenario
 
 __all__ = [
     "FabricConfig",
@@ -48,4 +49,5 @@ __all__ = [
     "ScenarioResult",
     "ScaleReport",
     "ScaleScenario",
+    "ShardedFabricScenario",
 ]

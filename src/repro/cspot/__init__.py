@@ -23,6 +23,12 @@ Python reimplementation of the CSPOT runtime the paper builds xGFabric on
   (both behaviours implemented, cf. the Table 1 discussion).
 """
 
+from repro.cspot.boundary import (
+    CrossShardLink,
+    FabricEnvelope,
+    ShardBoundary,
+    default_site_hub_path,
+)
 from repro.cspot.errors import (
     AckLostError,
     AppendError,
@@ -65,4 +71,8 @@ __all__ = [
     "LatencyProbe",
     "measure_path_latency",
     "LogReplicator",
+    "CrossShardLink",
+    "FabricEnvelope",
+    "ShardBoundary",
+    "default_site_hub_path",
 ]

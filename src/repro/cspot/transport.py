@@ -31,9 +31,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cspot.boundary import FabricEnvelope, ShardBoundary
 
 from repro.cspot.errors import (
     AckLostError,
@@ -99,6 +102,50 @@ class Transport:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._paths: dict[tuple[str, str], NetworkPath] = {}
         self._rng = engine.rng("cspot.transport")
+        self._boundary: Optional["ShardBoundary"] = None
+
+    # -- shard boundary seam ----------------------------------------------------
+
+    def bind_boundary(self, boundary: "ShardBoundary") -> None:
+        """Attach the shard boundary for appends that leave this engine.
+
+        In a sharded fabric run (:mod:`repro.parallel`) each shard's
+        transport only knows the CSPOT nodes its shard owns; appends to
+        any other node are exported through the boundary as
+        :class:`~repro.cspot.boundary.FabricEnvelope` messages instead of
+        executing locally. Unsharded fabrics never bind one.
+        """
+        if self._boundary is not None:
+            raise AppendError("a shard boundary is already bound")
+        self._boundary = boundary
+
+    def export_append(
+        self,
+        src_cell: int,
+        dst_cell: int,
+        log_name: str,
+        payload: bytes,
+        rng: np.random.Generator,
+    ) -> "FabricEnvelope":
+        """Export an append whose destination node lives on another shard.
+
+        Latency is stamped from ``rng`` (the *sender's* per-cell stream,
+        so the draw is worker-count-invariant); delivery happens at the
+        coordinator's next window barrier, never sooner.
+        """
+        if self._boundary is None:
+            raise AppendError(
+                f"append to cell {dst_cell} crosses the shard boundary but "
+                "no boundary is bound (Transport.bind_boundary)"
+            )
+        return self._boundary.export(
+            send_t=self.engine.now,
+            src_cell=src_cell,
+            dst_cell=dst_cell,
+            log=log_name,
+            payload=payload,
+            rng=rng,
+        )
 
     def connect(self, src: str, dst: str, path: NetworkPath, bidirectional: bool = True) -> None:
         """Register a path between two node names.

@@ -58,7 +58,7 @@ from repro.obs.metrics import (
     Series,
 )
 from repro.obs.recorder import FlightRecorder, RecorderDump
-from repro.obs.slo import SLO, Alert, BurnRateRule, SLOEngine
+from repro.obs.slo import SLO, Alert, BurnRateRule, SLOEngine, budget_record
 from repro.obs.stream import QuantileSketch, StreamAggregator, WindowedRate
 from repro.obs.trace import (
     NULL_SPAN,
@@ -102,6 +102,7 @@ __all__ = [
     "SLOEngine",
     "BurnRateRule",
     "Alert",
+    "budget_record",
     "FlightRecorder",
     "RecorderDump",
 ]

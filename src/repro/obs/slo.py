@@ -277,6 +277,40 @@ class SLOEngine:
         return out
 
 
+def budget_record(
+    *,
+    t: float,
+    shard: int,
+    seq: int,
+    slo: str,
+    value_s: float,
+    budget_s: float,
+    **attrs: Any,
+) -> dict[str, Any]:
+    """One mergeable SLO-timeline record, keyed ``(t, shard, seq)``.
+
+    The sharded-fabric counterpart of :meth:`SLOEngine.timeline`: each
+    shard evaluates its own latency observations against the budget and
+    emits records carrying the merge layer's total-order key, so
+    :func:`repro.parallel.merge.merge_slo_timelines` reproduces one
+    worker-count-invariant timeline (every field is a pure function of
+    the observation, never of the worker layout).
+    """
+    if budget_s <= 0:
+        raise ValueError(f"budget_s must be positive: {budget_s}")
+    return {
+        "t": t,
+        "shard": shard,
+        "seq": seq,
+        "kind": "slo.eval",
+        "slo": slo,
+        "value_s": value_s,
+        "budget_s": budget_s,
+        "ok": value_s <= budget_s,
+        **attrs,
+    }
+
+
 __all__ = [
     "Alert",
     "BurnRateRule",
@@ -285,4 +319,5 @@ __all__ = [
     "FAST_BURN_FACTOR",
     "FAST_BURN_WINDOW_S",
     "SLOW_BURN_FACTOR",
+    "budget_record",
 ]

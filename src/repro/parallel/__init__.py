@@ -1,14 +1,32 @@
 """repro.parallel: sharded multi-process simulation with deterministic merge.
 
 The one sanctioned home for process-level parallelism in this repo
-(REPRO404 bans ad-hoc ``multiprocessing`` elsewhere). A scale scenario is
+(REPRO404 bans ad-hoc ``multiprocessing`` elsewhere). A scenario is
 partitioned by cell into shards, each shard advances on its own
 deterministic engine under conservative window barriers, and the
 per-shard results merge exactly -- so the report is byte-identical for
-any worker count. See ``docs/parallel.md``.
+any worker count. Two scenario families share the executors: the radio
+scale workload (:class:`ShardedScaleScenario`, no cross-shard traffic)
+and the full fabric (:class:`repro.core.fabric_sharded
+.ShardedFabricScenario`), whose cross-shard CSPOT transfers ride the
+:class:`FabricBus` between window barriers. See ``docs/parallel.md``.
 """
 
-from repro.parallel.coordinator import EXECUTORS, ShardedScaleScenario
+from repro.parallel.coordinator import (
+    DEFAULT_WORKER_TIMEOUT_S,
+    EXECUTORS,
+    ShardedScaleScenario,
+    run_shards_serial,
+    run_shards_spawn,
+)
+from repro.parallel.envelope import FabricBus, split_outbound
+from repro.parallel.fabric_shard import (
+    FabricShardRunner,
+    FabricShardTask,
+    SiteShardResult,
+    pack_telemetry,
+    unpack_telemetry,
+)
 from repro.parallel.merge import (
     STREAM_KEY_FIELDS,
     canonical_json,
@@ -22,31 +40,51 @@ from repro.parallel.merge import (
 from repro.parallel.plan import (
     CSPOT_TRANSFER_FLOOR_S,
     CellFault,
+    LinkFault,
     ShardPlan,
     shard_stream,
 )
-from repro.parallel.report import ParallelReport
-from repro.parallel.shard import CellShardResult, ShardRunner, ShardTask
-from repro.parallel.worker import worker_main
+from repro.parallel.report import FabricParallelReport, ParallelReport
+from repro.parallel.shard import (
+    CellShardResult,
+    ShardRunner,
+    ShardTask,
+    WorkerCrash,
+)
+from repro.parallel.worker import build_runner, worker_main
 
 __all__ = [
     "CSPOT_TRANSFER_FLOOR_S",
     "CellFault",
     "CellShardResult",
+    "DEFAULT_WORKER_TIMEOUT_S",
     "EXECUTORS",
+    "FabricBus",
+    "FabricParallelReport",
+    "FabricShardRunner",
+    "FabricShardTask",
+    "LinkFault",
     "ParallelReport",
     "STREAM_KEY_FIELDS",
     "ShardPlan",
     "ShardRunner",
     "ShardTask",
     "ShardedScaleScenario",
+    "SiteShardResult",
+    "WorkerCrash",
+    "build_runner",
     "canonical_json",
     "canonical_jsonl",
     "fsum_ordered",
     "merge_sketches",
     "merge_slo_timelines",
     "merge_streams",
+    "pack_telemetry",
+    "run_shards_serial",
+    "run_shards_spawn",
     "shard_stream",
+    "split_outbound",
     "stream_key",
+    "unpack_telemetry",
     "worker_main",
 ]

@@ -1,26 +1,42 @@
-"""The coordinator: partition, barrier, merge.
+"""The coordinator: partition, barrier, exchange, merge.
+
+Two generic executors drive any shard runner under the conservative
+window-barrier protocol:
+
+* :func:`run_shards_serial` -- every shard runs in-process, interleaved
+  window by window. No pickling, no processes; the reference executor
+  for byte-identity tests and the ``workers=1`` single-process baseline.
+* :func:`run_shards_spawn` -- each shard runs in a spawned worker
+  process behind a pipe (:mod:`repro.parallel.worker`). The **spawn**
+  start method is required: a forked child would inherit the parent's
+  RNG registry and import-time state mid-run (see REPRO404).
+
+Both executors run the identical per-barrier exchange: deliver the
+envelopes routed at the previous barrier, advance every shard to the
+barrier, collect the envelopes each shard exported during the window,
+and route them through the :class:`~repro.parallel.envelope.FabricBus`
+for delivery no earlier than the *next* barrier. Scenarios without
+cross-shard traffic (the radio scale workload) pass ``bus=None`` and the
+exchange degenerates to the plain barrier loop.
+
+Failure surface (tested in ``tests/parallel/test_worker_failures.py``):
+a worker that raises ships an ``("error", ...)`` message the coordinator
+re-raises with worker context; a worker that dies silently closes its
+pipe and the timed receive turns the EOF (or a stall) into a clear
+``RuntimeError`` naming the worker -- the coordinator never hangs.
 
 :class:`ShardedScaleScenario` is the sharded counterpart of
 :class:`repro.core.scale.ScaleScenario`: the same declarative population
-and sampling horizon, partitioned by cell across workers under the
-conservative window-barrier protocol and merged into one
-:class:`~repro.parallel.report.ParallelReport`.
-
-Two executors drive the identical :class:`~repro.parallel.shard.ShardRunner`
-code path:
-
-* ``"serial"`` -- every shard runs in-process, interleaved window by
-  window. No pickling, no processes; the reference executor for
-  byte-identity tests and the ``workers=1`` single-process baseline.
-* ``"spawn"`` -- each shard runs in a spawned worker process behind a
-  pipe (:mod:`repro.parallel.worker`). The **spawn** start method is
-  required: a forked child would inherit the parent's RNG registry and
-  import-time state mid-run (see REPRO404).
+and sampling horizon, partitioned by cell across workers and merged into
+one :class:`~repro.parallel.report.ParallelReport`. (Its fabric sibling,
+:class:`repro.core.fabric_sharded.ShardedFabricScenario`, drives the
+same executors with a live bus.)
 
 Determinism invariant (tested in ``tests/parallel/``): same seed + same
 scenario produce byte-identical reports for any worker count and either
 executor, because every quantity is keyed by cell, every RNG stream is
-named by cell, and every merge is exact.
+named by cell, every envelope is delivered at a partition-independent
+time in a total order, and every merge is exact.
 """
 
 from __future__ import annotations
@@ -28,16 +44,163 @@ from __future__ import annotations
 import multiprocessing as mp
 from dataclasses import dataclass, field
 from multiprocessing.connection import Connection
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
+from repro.cspot.boundary import FabricEnvelope
+from repro.parallel.envelope import FabricBus, split_outbound
 from repro.parallel.merge import fsum_ordered, merge_sketches, merge_streams
 from repro.parallel.plan import CellFault, ShardPlan
 from repro.parallel.report import ParallelReport
-from repro.parallel.shard import CellShardResult, ShardRunner, ShardTask
-from repro.parallel.worker import worker_main
+from repro.parallel.shard import CellShardResult, ShardTask
+from repro.parallel.worker import AnyTask, build_runner, worker_main
 from repro.radio.population import UEPopulation
 
 EXECUTORS = ("serial", "spawn")
+
+#: Default patience for one worker reply; generous because a barrier may
+#: drain an arbitrarily dense window, but finite so a dead worker is an
+#: error, not a hang.
+DEFAULT_WORKER_TIMEOUT_S = 120.0
+
+
+def _route(
+    bus: Optional[FabricBus],
+    per_worker_outbound: Sequence[tuple[FabricEnvelope, ...]],
+    next_barrier_t: Optional[float],
+    n_workers: int,
+) -> list[tuple[FabricEnvelope, ...]]:
+    """One barrier's exchange step: route outbound, return inbound."""
+    if bus is None:
+        for batch in per_worker_outbound:
+            if batch:
+                raise RuntimeError(
+                    f"{len(batch)} cross-shard envelopes exported but the "
+                    "scenario runs without a fabric bus"
+                )
+        return [() for _ in range(n_workers)]
+    inbound = bus.route(split_outbound(per_worker_outbound), next_barrier_t)
+    return [tuple(batch) for batch in inbound]
+
+
+def run_shards_serial(
+    tasks: Sequence[AnyTask],
+    barriers: Sequence[float],
+    bus: Optional[FabricBus] = None,
+) -> list[Any]:
+    """Drive every shard in-process under the barrier/exchange protocol."""
+    runners = [build_runner(task) for task in tasks]
+    n = len(runners)
+    pending: list[tuple[FabricEnvelope, ...]] = [() for _ in range(n)]
+    for i, barrier_t in enumerate(barriers):
+        next_barrier_t = barriers[i + 1] if i + 1 < len(barriers) else None
+        for w, runner in enumerate(runners):
+            try:
+                runner.deliver(pending[w])
+                runner.advance(barrier_t)
+            except (Exception, SystemExit) as error:
+                # SystemExit is the "die without a reply" injection; under
+                # the serial executor it must surface as the same clear
+                # coordinator error the spawn executor produces, not kill
+                # the host process.
+                raise RuntimeError(
+                    f"shard worker {w} (cells {tasks[w].cells}) failed at "
+                    f"barrier t={barrier_t}: {error!r}"
+                ) from error
+        outbound = [runner.collect_outbound() for runner in runners]
+        pending = _route(bus, outbound, next_barrier_t, n)
+    results: list[Any] = []
+    for runner in runners:
+        results.extend(runner.finish())
+    return results
+
+
+def _recv(
+    conn: Connection, worker: int, timeout_s: float
+) -> tuple[Any, ...]:
+    """One timed receive; EOF and stalls become clear errors, not hangs."""
+    if not conn.poll(timeout_s):
+        raise RuntimeError(
+            f"shard worker {worker} sent no reply within {timeout_s}s "
+            "(stalled or deadlocked)"
+        )
+    try:
+        message: tuple[Any, ...] = conn.recv()
+    except EOFError as eof:
+        raise RuntimeError(
+            f"shard worker {worker} died without a reply (pipe closed)"
+        ) from eof
+    return message
+
+
+def _expect(
+    message: tuple[Any, ...], kind: str, worker: int
+) -> tuple[Any, ...]:
+    if message[0] == "error":
+        raise RuntimeError(f"shard worker {worker} failed: {message[1]}")
+    if message[0] != kind:
+        raise RuntimeError(
+            f"protocol violation from worker {worker}: expected {kind!r}, "
+            f"got {message[0]!r}"
+        )
+    return message
+
+
+def run_shards_spawn(
+    tasks: Sequence[AnyTask],
+    barriers: Sequence[float],
+    bus: Optional[FabricBus] = None,
+    timeout_s: float = DEFAULT_WORKER_TIMEOUT_S,
+) -> tuple[list[Any], list[dict[str, Any]]]:
+    """Drive every shard in a spawned process; returns (results, timings)."""
+    ctx = mp.get_context("spawn")
+    processes: list[mp.process.BaseProcess] = []
+    pipes: list[Connection] = []
+    results: list[Any] = []
+    timings: list[dict[str, Any]] = []
+    n = len(tasks)
+    try:
+        for task in tasks:
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=worker_main, args=(child_conn,), daemon=True
+            )
+            process.start()
+            child_conn.close()  # the worker holds its own end
+            parent_conn.send(task)
+            processes.append(process)
+            pipes.append(parent_conn)
+        pending: list[tuple[FabricEnvelope, ...]] = [() for _ in range(n)]
+        for i, barrier_t in enumerate(barriers):
+            next_barrier_t = barriers[i + 1] if i + 1 < len(barriers) else None
+            for w, conn in enumerate(pipes):
+                try:
+                    conn.send(("advance", barrier_t, pending[w]))
+                except (BrokenPipeError, OSError) as broken:
+                    raise RuntimeError(
+                        f"shard worker {w} is gone (send failed at barrier "
+                        f"t={barrier_t})"
+                    ) from broken
+            outbound: list[tuple[FabricEnvelope, ...]] = []
+            for w, conn in enumerate(pipes):
+                reply = _expect(_recv(conn, w, timeout_s), "done", w)
+                outbound.append(tuple(reply[3]))
+            pending = _route(bus, outbound, next_barrier_t, n)
+        for conn in pipes:
+            conn.send(("finish",))
+        for w, conn in enumerate(pipes):
+            reply = _expect(_recv(conn, w, timeout_s), "results", w)
+            results.extend(reply[1])
+            timings.append(dict(reply[2]))
+        for process in processes:
+            process.join(timeout=30.0)
+    finally:
+        for conn in pipes:
+            conn.close()
+        for process in processes:
+            if process.is_alive():  # pragma: no cover - crash cleanup
+                process.terminate()
+                process.join(timeout=5.0)
+    return results, timings
 
 
 @dataclass
@@ -68,6 +231,8 @@ class ShardedScaleScenario:
         Chaos faults, each routed to the worker owning its cell.
     relative_error:
         Error bound of the per-cell throughput sketches.
+    worker_timeout_s:
+        Patience for one spawn-worker reply before declaring it dead.
     """
 
     population: UEPopulation
@@ -79,6 +244,7 @@ class ShardedScaleScenario:
     interaction_delay_s: Optional[float] = None
     faults: tuple[CellFault, ...] = ()
     relative_error: float = 0.01
+    worker_timeout_s: float = DEFAULT_WORKER_TIMEOUT_S
     #: Per-worker timing side channel from the last spawn run (empty for
     #: serial); wall-clock data stays out of the canonical report.
     last_timings: list[dict[str, Any]] = field(
@@ -127,76 +293,20 @@ class ShardedScaleScenario:
             self.horizon_s, self.window_s, self.interaction_delay_s
         )
 
-    # -- executors ---------------------------------------------------------------
-
-    def _run_serial(self) -> list[CellShardResult]:
-        runners = [ShardRunner(task) for task in self._tasks()]
-        for barrier_t in self._barriers():
-            for runner in runners:
-                runner.advance(barrier_t)
-        results: list[CellShardResult] = []
-        for runner in runners:
-            results.extend(runner.finish())
-        return results
-
-    def _run_spawn(self) -> list[CellShardResult]:
-        ctx = mp.get_context("spawn")
-        tasks = self._tasks()
-        processes: list[mp.process.BaseProcess] = []
-        pipes: list[Connection] = []
-        results: list[CellShardResult] = []
-        self.last_timings = []
-        try:
-            for task in tasks:
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                process = ctx.Process(
-                    target=worker_main, args=(child_conn,), daemon=True
-                )
-                process.start()
-                child_conn.close()  # the worker holds its own end
-                parent_conn.send(task)
-                processes.append(process)
-                pipes.append(parent_conn)
-            for barrier_t in self._barriers():
-                for conn in pipes:
-                    conn.send(("advance", barrier_t))
-                for conn in pipes:
-                    self._expect(conn.recv(), "done")
-            for conn in pipes:
-                conn.send(("finish",))
-            for conn in pipes:
-                reply = self._expect(conn.recv(), "results")
-                results.extend(reply[1])
-                self.last_timings.append(dict(reply[2]))
-            for process in processes:
-                process.join(timeout=30.0)
-        finally:
-            for conn in pipes:
-                conn.close()
-            for process in processes:
-                if process.is_alive():  # pragma: no cover - crash cleanup
-                    process.terminate()
-                    process.join(timeout=5.0)
-        return results
-
-    @staticmethod
-    def _expect(message: tuple[Any, ...], kind: str) -> tuple[Any, ...]:
-        if message[0] == "error":
-            raise RuntimeError(f"shard worker failed: {message[1]}")
-        if message[0] != kind:
-            raise RuntimeError(
-                f"protocol violation: expected {kind!r}, got {message[0]!r}"
-            )
-        return message
-
     # -- the run -----------------------------------------------------------------
 
     def run(self) -> ParallelReport:
         """Execute every shard and merge the results canonically."""
+        tasks = self._tasks()
+        barriers = self._barriers()
+        results: list[CellShardResult]
         if self.executor == "serial":
-            results = self._run_serial()
+            results = run_shards_serial(tasks, barriers)
+            self.last_timings = []
         else:
-            results = self._run_spawn()
+            results, self.last_timings = run_shards_spawn(
+                tasks, barriers, timeout_s=self.worker_timeout_s
+            )
         results.sort(key=lambda r: r.cell_index)
         merged_sketch = merge_sketches(
             (r.sketch for r in results), self.relative_error

@@ -1,0 +1,444 @@
+"""The shard-local slice of a sharded fabric: sites, CSPOT nodes, sensors.
+
+A :class:`FabricShardRunner` owns a contiguous block of *sites* (farm
+cells in the paper's multi-farm reading). Each site carries its own
+sensor source and its own :class:`~repro.cspot.node.CSPOTNode`: every
+sampling window the site reads its sensors, appends the telemetry to its
+local CSPOT log (durable-first, the paper's discipline), and forwards a
+summary to the fabric **hub** site -- the repository cell every other
+site reports into (the UCSB role in Fig. 3).
+
+The hub transfer always crosses the shard boundary seam
+(:meth:`~repro.cspot.transport.Transport.export_append`), *even when the
+hub happens to live on the same worker*: the coordinator's
+:class:`~repro.parallel.envelope.FabricBus` assigns every envelope the
+same barrier-clamped delivery time whatever the partition, which is what
+makes the merged report byte-identical for any worker count.
+
+Chaos enters at two deterministic seams:
+
+* :class:`~repro.parallel.plan.CellFault` derates a site's sensor block
+  for one window (a sensor/radio degradation);
+* :class:`~repro.parallel.plan.LinkFault` severs the site's cross-shard
+  CSPOT link for a window range: transfers are *parked* in the local log
+  (CSPOT's delay tolerance) and flushed in order at the first healthy
+  window, or counted as parked if the fault outlasts the run.
+
+Every number a runner produces is a function of
+``(master seed, cell index, window)`` -- RNG streams are named by cell
+(``shard.cell<ccc>.sensors`` / ``.transfer``), results are keyed by cell,
+and hub-side ingestion processes envelopes in the bus's total order.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.cspot.boundary import CrossShardLink, FabricEnvelope, ShardBoundary
+from repro.cspot.node import CSPOTNode
+from repro.cspot.transport import Transport
+from repro.obs.slo import budget_record
+from repro.obs.stream import QuantileSketch
+from repro.parallel.plan import CellFault, LinkFault, shard_stream
+from repro.parallel.shard import WorkerCrash
+from repro.simkernel.engine import Engine
+from repro.simkernel.events import Event
+
+#: Telemetry summary frame: mean wind (f64), window index (u32), source
+#: cell (u32) -- 16 bytes, well under the 64-byte log element.
+TELEMETRY_FRAME = "<dII"
+TELEMETRY_ELEMENT_SIZE = 64
+
+#: The mean diurnal wind profile the synthetic sensors ride on (m/s).
+BASE_WIND_MPS = 5.0
+DIURNAL_AMPLITUDE_MPS = 3.0
+DIURNAL_PERIOD_WINDOWS = 24
+SENSOR_NOISE_MPS = 0.8
+
+
+def pack_telemetry(mean_mps: float, window: int, src_cell: int) -> bytes:
+    """Pack one site's window summary into its CSPOT log frame."""
+    return struct.pack(TELEMETRY_FRAME, mean_mps, window, src_cell)
+
+
+def unpack_telemetry(payload: bytes) -> tuple[float, int, int]:
+    """Inverse of :func:`pack_telemetry`: (mean_mps, window, src_cell)."""
+    mean_mps, window, src_cell = struct.unpack(TELEMETRY_FRAME, payload)
+    return float(mean_mps), int(window), int(src_cell)
+
+
+@dataclass(frozen=True)
+class FabricShardTask:
+    """Everything a worker needs to run its fabric shard (picklable)."""
+
+    n_cells: int
+    seed: int
+    horizon_s: float
+    window_s: float
+    cells: tuple[int, ...]
+    hub_cell: int = 0
+    sensors_per_cell: int = 4
+    transfer_budget_s: float = 1.0
+    alert_threshold_mps: float = 1.5
+    faults: tuple[CellFault, ...] = ()
+    link_faults: tuple[LinkFault, ...] = ()
+    link: CrossShardLink = field(default_factory=CrossShardLink)
+    relative_error: float = 0.01
+    #: Injected protocol failure (tests only; None in production runs).
+    crash: Optional[WorkerCrash] = None
+
+    def __post_init__(self) -> None:
+        if self.n_cells < 1:
+            raise ValueError(f"n_cells must be >= 1: {self.n_cells}")
+        if not self.cells:
+            raise ValueError("a fabric shard must own at least one site")
+        if not 0 <= self.hub_cell < self.n_cells:
+            raise ValueError(
+                f"hub cell {self.hub_cell} out of [0, {self.n_cells})"
+            )
+        for c in self.cells:
+            if not 0 <= c < self.n_cells:
+                raise ValueError(f"cell {c} out of [0, {self.n_cells})")
+        if self.horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive: {self.horizon_s}")
+        if self.window_s <= 0:
+            raise ValueError(f"window_s must be positive: {self.window_s}")
+        if self.sensors_per_cell < 1:
+            raise ValueError(
+                f"sensors_per_cell must be >= 1: {self.sensors_per_cell}"
+            )
+        if self.transfer_budget_s <= 0:
+            raise ValueError(
+                f"transfer_budget_s must be positive: {self.transfer_budget_s}"
+            )
+        if self.alert_threshold_mps <= 0:
+            raise ValueError(
+                f"alert_threshold_mps must be positive: "
+                f"{self.alert_threshold_mps}"
+            )
+        owned = set(self.cells)
+        for fault in self.faults:
+            if fault.cell_index not in owned:
+                raise ValueError(
+                    f"fault on cell {fault.cell_index} routed to a shard "
+                    f"owning {sorted(owned)}"
+                )
+        for link_fault in self.link_faults:
+            if link_fault.cell_index not in owned:
+                raise ValueError(
+                    f"link fault on cell {link_fault.cell_index} routed to "
+                    f"a shard owning {sorted(owned)}"
+                )
+
+
+@dataclass
+class SiteShardResult:
+    """One site's complete contribution, shipped back at FINISH."""
+
+    cell_index: int
+    samples: int = 0
+    local_appends: int = 0
+    #: Engine events this site processed (window samples + hub ingests).
+    events: int = 0
+    #: Envelopes exported toward the hub (includes flushed parked ones).
+    sent: int = 0
+    #: Transfers ever parked behind a severed link.
+    parked_total: int = 0
+    #: Transfers still parked when the run ended (fault outlasted it).
+    parked_remaining: int = 0
+    #: Hub side: envelopes ingested (nonzero only on the hub's result).
+    delivered: int = 0
+    #: Hub side: change alerts raised.
+    alerts: int = 0
+    #: Send-side transfer latency sketch (the stamped draws).
+    transfer_sketch: QuantileSketch = field(
+        default_factory=lambda: QuantileSketch.identity(0.01)
+    )
+    #: Hub side: effective delivery latency (incl. barrier quantization).
+    ingest_sketch: QuantileSketch = field(
+        default_factory=lambda: QuantileSketch.identity(0.01)
+    )
+    #: Sim-time-ordered trace records keyed ``(t, shard, seq)``.
+    records: list[dict[str, Any]] = field(default_factory=list)
+    #: Sim-time-ordered SLO timeline records keyed ``(t, shard, seq)``.
+    slo: list[dict[str, Any]] = field(default_factory=list)
+
+
+class FabricShardRunner:
+    """Advances one fabric shard's sites window by window."""
+
+    def __init__(self, task: FabricShardTask) -> None:
+        self.task = task
+        self.engine = Engine(seed=task.seed)
+        self.transport = Transport(self.engine)
+        self.boundary = ShardBoundary(task.link)
+        self.transport.bind_boundary(self.boundary)
+        self._n_windows = int(task.horizon_s // task.window_s)
+        self._advances = 0
+        self._events_drained = 0
+
+        self._nodes: dict[int, CSPOTNode] = {}
+        self._results: dict[int, SiteShardResult] = {}
+        self._sensor_rngs = {
+            c: self.engine.rng(shard_stream(c, "sensors")) for c in task.cells
+        }
+        self._transfer_rngs = {
+            c: self.engine.rng(shard_stream(c, "transfer"))
+            for c in task.cells
+        }
+        self._record_seq: dict[int, int] = {c: 0 for c in task.cells}
+        self._slo_seq: dict[int, int] = {c: 0 for c in task.cells}
+        self._parked: dict[int, list[bytes]] = {c: [] for c in task.cells}
+        #: Multiplicative sensor derate per (cell, window).
+        self._derates: dict[tuple[int, int], float] = {}
+        for fault in task.faults:
+            key = (fault.cell_index, fault.window)
+            self._derates[key] = self._derates.get(key, 1.0) * fault.derate
+        self._link_faults: dict[int, list[LinkFault]] = {
+            c: [] for c in task.cells
+        }
+        for link_fault in task.link_faults:
+            self._link_faults[link_fault.cell_index].append(link_fault)
+        #: Hub-side change detection state: last mean seen per source.
+        self._last_mean: dict[int, float] = {}
+
+        for c in task.cells:
+            node = CSPOTNode(self.engine, f"site{c:03d}")
+            node.create_log(
+                "telemetry",
+                element_size=TELEMETRY_ELEMENT_SIZE,
+                history_size=4096,
+            )
+            if c == task.hub_cell:
+                node.create_log(
+                    "fabric.telemetry",
+                    element_size=TELEMETRY_ELEMENT_SIZE,
+                    history_size=8192,
+                )
+                node.create_log(
+                    "fabric.alerts",
+                    element_size=TELEMETRY_ELEMENT_SIZE,
+                    history_size=4096,
+                )
+            self._nodes[c] = node
+            self._results[c] = SiteShardResult(
+                cell_index=c,
+                transfer_sketch=QuantileSketch.identity(task.relative_error),
+                ingest_sketch=QuantileSketch.identity(task.relative_error),
+            )
+
+        # The full sampling calendar up front: every owned site's window
+        # event on the shared boundary timestamp (the same-timestamp storm
+        # the calendar queue batches in O(1)).
+        for w in range(self._n_windows):
+            when = w * task.window_s
+            for c in task.cells:
+                self.engine.schedule_at(when).add_callback(
+                    self._make_window(c, w)
+                )
+
+    # -- accounting -------------------------------------------------------------
+
+    @property
+    def n_windows(self) -> int:
+        return self._n_windows
+
+    @property
+    def events_drained(self) -> int:
+        return self._events_drained
+
+    def _next_record_seq(self, cell: int) -> int:
+        seq = self._record_seq[cell]
+        self._record_seq[cell] = seq + 1
+        return seq
+
+    def _next_slo_seq(self, cell: int) -> int:
+        seq = self._slo_seq[cell]
+        self._slo_seq[cell] = seq + 1
+        return seq
+
+    # -- the sampling window ----------------------------------------------------
+
+    def _severed(self, cell: int, window: int) -> bool:
+        return any(f.severs(window) for f in self._link_faults[cell])
+
+    def _make_window(self, cell: int, window: int) -> Callable[[Event], None]:
+        task = self.task
+        rng = self._sensor_rngs[cell]
+        result = self._results[cell]
+        node = self._nodes[cell]
+        derate = self._derates.get((cell, window))
+
+        def _window(_event: Event) -> None:
+            now = self.engine.now
+            base = BASE_WIND_MPS + DIURNAL_AMPLITUDE_MPS * math.sin(
+                2.0 * math.pi * window / DIURNAL_PERIOD_WINDOWS
+            )
+            readings = base + rng.normal(
+                0.0, SENSOR_NOISE_MPS, size=task.sensors_per_cell
+            )
+            if derate is not None:
+                readings = readings * derate
+            mean = float(readings.mean())
+            payload = pack_telemetry(mean, window, cell)
+            node.local_append("telemetry", payload)
+            result.events += 1
+            result.samples += task.sensors_per_cell
+            result.local_appends += 1
+            result.records.append({
+                "t": now,
+                "shard": cell,
+                "seq": self._next_record_seq(cell),
+                "kind": "site.sample",
+                "window": window,
+                "mean_mps": mean,
+                "samples": task.sensors_per_cell,
+                "derate": 1.0 if derate is None else derate,
+            })
+            if self._severed(cell, window):
+                self._parked[cell].append(payload)
+                result.parked_total += 1
+                result.records.append({
+                    "t": now,
+                    "shard": cell,
+                    "seq": self._next_record_seq(cell),
+                    "kind": "site.parked",
+                    "window": window,
+                    "parked": len(self._parked[cell]),
+                })
+                return
+            # Healthy link: flush everything parked (in order), then the
+            # fresh summary -- CSPOT's "parked until active" discipline.
+            to_send = self._parked[cell] + [payload]
+            self._parked[cell] = []
+            for frame in to_send:
+                envelope = self.transport.export_append(
+                    cell,
+                    task.hub_cell,
+                    "fabric.telemetry",
+                    frame,
+                    self._transfer_rngs[cell],
+                )
+                result.sent += 1
+                result.transfer_sketch.add(envelope.latency_s)
+                result.records.append({
+                    "t": now,
+                    "shard": cell,
+                    "seq": self._next_record_seq(cell),
+                    "kind": "cspot.export",
+                    "window": window,
+                    "envelope_seq": envelope.seq,
+                    "dst": task.hub_cell,
+                    "latency_s": envelope.latency_s,
+                })
+
+        return _window
+
+    # -- cross-shard delivery ---------------------------------------------------
+
+    def deliver(self, envelopes: Sequence[FabricEnvelope]) -> None:
+        """Schedule inbound envelopes for ingestion at their delivery times.
+
+        The coordinator hands envelopes at a barrier, already sorted by
+        ``(deliver_t, src_cell, seq)`` with ``deliver_t`` at or after the
+        *next* barrier -- so scheduling order (and therefore same-instant
+        FIFO order) is worker-count-invariant.
+        """
+        owned = self._results
+        for envelope in envelopes:
+            if envelope.dst_cell not in owned:
+                raise ValueError(
+                    f"envelope for cell {envelope.dst_cell} delivered to a "
+                    f"shard owning {sorted(owned)}"
+                )
+            deliver_t = envelope.delivery_key[0]
+            self.engine.schedule_at(deliver_t).add_callback(
+                self._make_ingest(envelope)
+            )
+
+    def _make_ingest(
+        self, envelope: FabricEnvelope
+    ) -> Callable[[Event], None]:
+        task = self.task
+        hub = envelope.dst_cell
+        result = self._results[hub]
+        node = self._nodes[hub]
+
+        def _ingest(_event: Event) -> None:
+            now = self.engine.now
+            latency = now - envelope.send_t
+            node.local_append("fabric.telemetry", envelope.payload)
+            mean, window, src = unpack_telemetry(envelope.payload)
+            result.events += 1
+            result.delivered += 1
+            result.ingest_sketch.add(latency)
+            result.records.append({
+                "t": now,
+                "shard": hub,
+                "seq": self._next_record_seq(hub),
+                "kind": "hub.ingest",
+                "src": src,
+                "window": window,
+                "mean_mps": mean,
+                "latency_s": latency,
+            })
+            result.slo.append(budget_record(
+                t=now,
+                shard=hub,
+                seq=self._next_slo_seq(hub),
+                slo="cspot.transfer",
+                value_s=latency,
+                budget_s=task.transfer_budget_s,
+                src=src,
+            ))
+            last = self._last_mean.get(src)
+            if last is not None and abs(mean - last) >= task.alert_threshold_mps:
+                result.alerts += 1
+                node.local_append("fabric.alerts", envelope.payload)
+                result.records.append({
+                    "t": now,
+                    "shard": hub,
+                    "seq": self._next_record_seq(hub),
+                    "kind": "hub.alert",
+                    "src": src,
+                    "window": window,
+                    "delta_mps": mean - last,
+                })
+            self._last_mean[src] = mean
+
+        return _ingest
+
+    # -- the barrier protocol ---------------------------------------------------
+
+    def advance(self, barrier_t: float) -> int:
+        """Drain every event up to the barrier; return events processed."""
+        crash = self.task.crash
+        if crash is not None and self._advances == crash.barrier_index:
+            if crash.mode == "raise":
+                raise RuntimeError(
+                    f"injected shard crash (cells {self.task.cells}) at "
+                    f"barrier #{crash.barrier_index} (t={barrier_t})"
+                )
+            raise SystemExit(3)
+        self._advances += 1
+        n = self.engine.drain_window(barrier_t)
+        self._events_drained += n
+        return n
+
+    def collect_outbound(self) -> tuple[FabricEnvelope, ...]:
+        """Envelopes exported during the window just drained."""
+        return self.boundary.drain()
+
+    def finish(self) -> list[SiteShardResult]:
+        """Per-site results in cell-index order (ascending, stable)."""
+        if len(self.engine) != 0:
+            raise RuntimeError(
+                f"fabric shard finished with {len(self.engine)} pending "
+                "events; advance() must reach the horizon first"
+            )
+        for c, parked in self._parked.items():
+            self._results[c].parked_remaining = len(parked)
+        return [self._results[c] for c in sorted(self._results)]

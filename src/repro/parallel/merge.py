@@ -47,6 +47,8 @@ def stream_key(record: dict[str, Any]) -> tuple[float, int, int]:
 
 def merge_streams(
     streams: Iterable[Iterable[dict[str, Any]]],
+    *,
+    reject_duplicates: bool = True,
 ) -> list[dict[str, Any]]:
     """Interleave per-shard record streams into one total order.
 
@@ -55,8 +57,23 @@ def merge_streams(
     k-way heap merge, O(total log shards). Ties at the same simulated
     time break by shard id then per-shard sequence number, so the merged
     order is total and worker-count-invariant.
+
+    ``(t, shard, seq)`` must be a *total* order: two records sharing a
+    key would merge in input-stream order, which is exactly the
+    worker-layout dependence this layer exists to exclude -- so
+    duplicate keys are rejected loudly (``reject_duplicates=False`` is
+    an escape hatch for diagnostic tooling only).
     """
-    return list(heapq.merge(*streams, key=stream_key))
+    merged = list(heapq.merge(*streams, key=stream_key))
+    if reject_duplicates:
+        for previous, record in zip(merged, merged[1:]):
+            if stream_key(previous) == stream_key(record):
+                raise ValueError(
+                    "duplicate stream key (t, shard, seq)="
+                    f"{stream_key(record)}: the merged stream must be a "
+                    "total order"
+                )
+    return merged
 
 
 def merge_slo_timelines(

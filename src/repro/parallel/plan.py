@@ -21,7 +21,7 @@ which case the sampling window itself is the natural barrier quantum.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Protocol, Sequence, TypeVar
 
 #: Conservative default for the minimum cross-shard interaction delay:
 #: the paper's measured ~200 ms sensor->HPC CSPOT transfer floor
@@ -64,6 +64,52 @@ class CellFault:
             raise ValueError(f"negative window: {self.window}")
         if not 0.0 <= self.derate <= 1.0:
             raise ValueError(f"derate must be in [0, 1]: {self.derate}")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """A chaos fault severing one site's cross-shard CSPOT link.
+
+    While severed (sampling windows ``start_window``..``end_window``,
+    inclusive), the site cannot reach the fabric hub: its transfers are
+    *parked* in the local CSPOT log (the paper's delay-tolerant
+    discipline) and flushed, in order, at the first healthy window after
+    the link is restored. A fault that outlasts the run leaves the
+    payloads parked -- counted, never lost.
+
+    Routed to the worker owning ``cell_index`` (the *sender* side of the
+    link), so the parking decision is a function of ``(cell, window)``
+    alone and the outcome is worker-count-invariant.
+    """
+
+    cell_index: int
+    start_window: int
+    end_window: int
+
+    def __post_init__(self) -> None:
+        if self.cell_index < 0:
+            raise ValueError(f"negative cell index: {self.cell_index}")
+        if self.start_window < 0:
+            raise ValueError(f"negative start window: {self.start_window}")
+        if self.end_window < self.start_window:
+            raise ValueError(
+                f"end_window {self.end_window} precedes start_window "
+                f"{self.start_window}"
+            )
+
+    def severs(self, window: int) -> bool:
+        """Whether the link is down during sampling window ``window``."""
+        return self.start_window <= window <= self.end_window
+
+
+class _CellKeyed(Protocol):
+    """Anything routable by owning cell (CellFault, LinkFault, ...)."""
+
+    @property
+    def cell_index(self) -> int: ...
+
+
+FaultT = TypeVar("FaultT", bound=_CellKeyed)
 
 
 @dataclass(frozen=True)
@@ -112,19 +158,32 @@ class ShardPlan:
             f"no worker owns cell {cell_index}"
         )
 
-    def route_faults(
-        self, faults: Sequence[CellFault]
-    ) -> tuple[tuple[CellFault, ...], ...]:
-        """Group faults by owning worker, preserving declaration order.
+    def route_by_cell(
+        self, faults: Sequence[FaultT]
+    ) -> tuple[tuple[FaultT, ...], ...]:
+        """Group cell-keyed faults by owning worker, preserving order.
 
         Each fault lands exactly on the worker whose shard contains the
         faulted cell; declaration order is preserved within a worker so
         stacked faults on one (cell, window) compose deterministically.
+        The routing is *total*: every fault appears on exactly one worker.
         """
-        routed: list[list[CellFault]] = [[] for _ in range(self.n_workers)]
+        routed: list[list[FaultT]] = [[] for _ in range(self.n_workers)]
         for fault in faults:
             routed[self.owner_of(fault.cell_index)].append(fault)
         return tuple(tuple(r) for r in routed)
+
+    def route_faults(
+        self, faults: Sequence[CellFault]
+    ) -> tuple[tuple[CellFault, ...], ...]:
+        """Route derate faults (see :meth:`route_by_cell`)."""
+        return self.route_by_cell(faults)
+
+    def route_link_faults(
+        self, faults: Sequence[LinkFault]
+    ) -> tuple[tuple[LinkFault, ...], ...]:
+        """Route link-severing faults to the *sender* shard."""
+        return self.route_by_cell(faults)
 
     def sync_window_s(
         self, window_s: float, interaction_delay_s: Optional[float]

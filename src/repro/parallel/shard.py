@@ -16,13 +16,44 @@ spawned process, so the two paths cannot drift apart.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Optional, Sequence
 
+from repro.cspot.boundary import FabricEnvelope
 from repro.obs.stream import QuantileSketch
 from repro.parallel.plan import CellFault, shard_stream
 from repro.radio.population import CellPopulation, UEPopulation
 from repro.simkernel.engine import Engine
 from repro.simkernel.events import Event
+
+#: Crash modes for :class:`WorkerCrash` protocol-failure injection.
+CRASH_MODES = ("raise", "exit")
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """Injected worker-protocol failure, for coordinator resilience tests.
+
+    ``mode="raise"`` raises mid-window (the worker ships the error over
+    the pipe before dying); ``mode="exit"`` terminates the worker without
+    a protocol reply, so the coordinator sees the pipe close (EOF). The
+    crash fires at the start of the ``barrier_index``-th ``advance`` call
+    (0-based). This is an executor-level fault -- it tests the protocol's
+    failure surface, not the simulation -- so it is keyed by worker, not
+    by cell.
+    """
+
+    barrier_index: int
+    mode: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.barrier_index < 0:
+            raise ValueError(
+                f"negative barrier index: {self.barrier_index}"
+            )
+        if self.mode not in CRASH_MODES:
+            raise ValueError(
+                f"unknown crash mode {self.mode!r}; valid: {CRASH_MODES}"
+            )
 
 
 @dataclass(frozen=True)
@@ -36,6 +67,8 @@ class ShardTask:
     cells: tuple[int, ...]
     faults: tuple[CellFault, ...] = ()
     relative_error: float = 0.01
+    #: Injected protocol failure (tests only; None in production runs).
+    crash: Optional[WorkerCrash] = None
 
     def __post_init__(self) -> None:
         if not self.cells:
@@ -101,6 +134,7 @@ class ShardRunner:
             for c in task.cells
         }
         self._events_drained = 0
+        self._advances = 0
         # The full calendar up front, exactly like ScaleScenario: every
         # owned cell's window event on the shared boundary timestamp (the
         # same-timestamp storm the calendar queue batches in O(1)).
@@ -157,9 +191,34 @@ class ShardRunner:
         guarantees no cross-shard influence can land before ``barrier_t``,
         so everything up to it is safe to process.
         """
+        crash = self.task.crash
+        if crash is not None and self._advances == crash.barrier_index:
+            if crash.mode == "raise":
+                raise RuntimeError(
+                    f"injected shard crash (cells {self.task.cells}) at "
+                    f"barrier #{crash.barrier_index} (t={barrier_t})"
+                )
+            # "exit": die without a protocol reply; under spawn the
+            # coordinator sees the pipe close (SystemExit is not an
+            # Exception, so the worker loop cannot convert it to an
+            # ("error", ...) message).
+            raise SystemExit(3)
+        self._advances += 1
         n = self.engine.drain_window(barrier_t)
         self._events_drained += n
         return n
+
+    def deliver(self, envelopes: Sequence[FabricEnvelope]) -> None:
+        """Accept inbound cross-shard envelopes (none exist for radio shards)."""
+        if envelopes:
+            raise ValueError(
+                f"a radio scale shard received {len(envelopes)} cross-shard "
+                "envelopes; only fabric shards exchange messages"
+            )
+
+    def collect_outbound(self) -> tuple[FabricEnvelope, ...]:
+        """Outbound cross-shard envelopes (always empty for radio shards)."""
+        return ()
 
     def finish(self) -> list[CellShardResult]:
         """Per-cell results in cell-index order (ascending, stable)."""

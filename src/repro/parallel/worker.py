@@ -1,21 +1,35 @@
-"""The spawned worker process: a pipe-driven loop around a ShardRunner.
+"""The spawned worker process: a pipe-driven loop around a shard runner.
 
 Protocol (coordinator -> worker, worker -> coordinator), all messages
 pickled over a ``multiprocessing`` duplex pipe:
 
-==================  =============================================
-``("advance", t)``  drain the shard to barrier ``t``; reply
-                    ``("done", t, events_processed)``
-``("finish",)``     reply ``("results", [CellShardResult, ...],
-                    timings)`` and exit the loop
-==================  =============================================
+============================  ==========================================
+``("advance", t, inbound)``   deliver the inbound cross-shard envelopes,
+                              drain the shard to barrier ``t``, then
+                              reply ``("done", t, events_processed,
+                              outbound)`` with the envelopes exported
+                              during the window
+``("finish",)``               reply ``("results", [result, ...],
+                              timings)`` and exit the loop
+============================  ==========================================
 
-The task itself arrives as the first message, so the spawned interpreter
-only needs the module import path -- the **spawn** start method is the
-whole point: a fresh interpreter with no inherited RNG state, no
-copy-on-write heap, and the same behaviour on every platform. (The
-``repro.lint`` REPRO404 rule bans fork-context multiprocessing precisely
-because a forked child inherits the parent's RNG registry state mid-run.)
+``inbound``/``outbound`` are tuples of
+:class:`~repro.cspot.boundary.FabricEnvelope`; radio scale shards carry
+empty tuples on both legs, so the two scenario families share one
+protocol. The task itself arrives as the first message and selects the
+runner class (:func:`build_runner`), so the spawned interpreter only
+needs the module import path -- the **spawn** start method is the whole
+point: a fresh interpreter with no inherited RNG state, no copy-on-write
+heap, and the same behaviour on every platform. (The ``repro.lint``
+REPRO404 rule bans fork-context multiprocessing precisely because a
+forked child inherits the parent's RNG registry state mid-run.)
+
+Failure surface: an exception inside the loop is shipped as an
+``("error", repr)`` message before the worker dies, so the coordinator
+can re-raise with context instead of timing out. A worker that dies
+*without* a reply (e.g. ``SystemExit``, which is not an ``Exception``)
+closes the pipe, and the coordinator's timed receive turns the EOF into
+a clear error -- never a hang.
 
 Wall-clock note: this module is one of the deliberate REPRO101 allowlist
 seams (like the CFD solver's perf probe). The worker measures its own
@@ -28,27 +42,45 @@ from __future__ import annotations
 
 import time
 from multiprocessing.connection import Connection
-from typing import Any
+from typing import Any, Union
 
+from repro.parallel.fabric_shard import FabricShardRunner, FabricShardTask
 from repro.parallel.shard import ShardRunner, ShardTask
+
+#: Either runner drives the same barrier protocol (deliver / advance /
+#: collect_outbound / finish); the task type selects the class.
+AnyRunner = Union[ShardRunner, FabricShardRunner]
+AnyTask = Union[ShardTask, FabricShardTask]
+
+
+def build_runner(task: AnyTask) -> AnyRunner:
+    """Instantiate the runner class a task calls for (both executors)."""
+    if isinstance(task, ShardTask):
+        return ShardRunner(task)
+    if isinstance(task, FabricShardTask):
+        return FabricShardRunner(task)
+    raise TypeError(
+        f"expected a ShardTask or FabricShardTask, got {type(task)!r}"
+    )
 
 
 def worker_main(conn: Connection) -> None:
     """Run one shard behind a pipe; the spawn entry point."""
     try:
         task = conn.recv()
-        if not isinstance(task, ShardTask):
-            raise TypeError(f"expected a ShardTask first, got {type(task)!r}")
-        runner = ShardRunner(task)
+        runner = build_runner(task)
         compute_wall = 0.0
         while True:
             message: tuple[Any, ...] = conn.recv()
             if message[0] == "advance":
                 barrier_t = float(message[1])
+                inbound = message[2] if len(message) > 2 else ()
                 t0 = time.perf_counter()
+                runner.deliver(inbound)
                 events = runner.advance(barrier_t)
+                outbound = runner.collect_outbound()
                 compute_wall += time.perf_counter() - t0
-                conn.send(("done", barrier_t, events))
+                conn.send(("done", barrier_t, events, outbound))
             elif message[0] == "finish":
                 results = runner.finish()
                 timings = {
@@ -59,10 +91,16 @@ def worker_main(conn: Connection) -> None:
                 return
             else:
                 raise ValueError(f"unknown command: {message[0]!r}")
+    except EOFError:
+        # The coordinator closed its end mid-run (it aborted because some
+        # *other* worker failed). Nothing to report and nobody listening:
+        # exit quietly instead of tracebacking into a broken pipe.
+        return
     except Exception as error:  # ship the failure instead of hanging the pipe
         try:
             conn.send(("error", repr(error)))
-        finally:
-            raise
+        except OSError:
+            pass  # coordinator already gone; the EOF on its side suffices
+        raise
     finally:
         conn.close()

@@ -1,0 +1,174 @@
+"""The CSPOT shard-boundary seam: envelopes, links, transport export."""
+
+import numpy as np
+import pytest
+
+from repro.cspot import (
+    CrossShardLink,
+    CSPOTNode,
+    FabricEnvelope,
+    NetworkPath,
+    ShardBoundary,
+    Transport,
+    default_site_hub_path,
+)
+from repro.cspot.boundary import TRANSFER_LEGS
+from repro.cspot.errors import AppendError
+from repro.simkernel import Engine
+
+pytestmark = pytest.mark.filterwarnings("error")
+
+
+def _envelope(**overrides):
+    defaults = dict(
+        send_t=1.0,
+        src_cell=2,
+        seq=0,
+        dst_cell=0,
+        log="fabric.telemetry",
+        payload=b"x" * 16,
+        latency_s=0.1,
+    )
+    defaults.update(overrides)
+    return FabricEnvelope(**defaults)
+
+
+class TestEnvelope:
+    def test_key_mirrors_the_merge_total_order(self):
+        envelope = _envelope()
+        assert envelope.key == (1.0, 2, 0)
+        assert envelope.arrival_t == pytest.approx(1.1)
+
+    def test_delivery_key_requires_routing_first(self):
+        envelope = _envelope()
+        with pytest.raises(ValueError, match="deliver_t unassigned"):
+            envelope.delivery_key
+        stamped = envelope.stamped(1.5)
+        assert stamped.delivery_key == (1.5, 2, 0)
+        # stamped() is a copy: the original stays unrouted.
+        assert envelope.deliver_t is None
+
+    def test_stamping_before_send_time_rejected(self):
+        with pytest.raises(ValueError, match="precedes send_t"):
+            _envelope().stamped(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="cell"):
+            _envelope(src_cell=-1)
+        with pytest.raises(ValueError, match="seq"):
+            _envelope(seq=-1)
+        with pytest.raises(ValueError, match="latency"):
+            _envelope(latency_s=0.0)
+        with pytest.raises(ValueError, match="log"):
+            _envelope(log="")
+
+
+class TestCrossShardLink:
+    def test_latency_is_four_legs_plus_append_cost(self):
+        link = CrossShardLink(
+            path=NetworkPath("flat", one_way_ms=25.0, jitter_ms=0.0),
+            append_cost_s=0.05,
+        )
+        rng = np.random.default_rng(0)
+        assert link.transfer_latency_s(rng) == pytest.approx(
+            TRANSFER_LEGS * 0.025 + 0.05
+        )
+
+    def test_draws_are_reproducible_per_stream(self):
+        link = CrossShardLink()
+        a = [link.transfer_latency_s(np.random.default_rng(7)) for _ in "x"]
+        b = [link.transfer_latency_s(np.random.default_rng(7)) for _ in "x"]
+        assert a == b
+
+    def test_default_path_is_the_calibrated_site_hub_leg(self):
+        path = default_site_hub_path()
+        assert path.one_way_ms == 25.0
+        with pytest.raises(ValueError):
+            CrossShardLink(append_cost_s=-1.0)
+
+
+class TestShardBoundary:
+    def test_export_assigns_monotonic_per_source_seq(self):
+        boundary = ShardBoundary(CrossShardLink())
+        rng = np.random.default_rng(0)
+        keys = []
+        for src in (1, 1, 2, 1):
+            envelope = boundary.export(
+                send_t=0.5,
+                src_cell=src,
+                dst_cell=0,
+                log="fabric.telemetry",
+                payload=b"p",
+                rng=rng,
+            )
+            keys.append(envelope.key)
+        assert keys == [(0.5, 1, 0), (0.5, 1, 1), (0.5, 2, 0), (0.5, 1, 2)]
+        assert len(boundary) == 4
+        assert boundary.exported == 4
+
+    def test_drain_clears_and_preserves_order(self):
+        boundary = ShardBoundary(CrossShardLink())
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            boundary.export(
+                send_t=1.0,
+                src_cell=0,
+                dst_cell=1,
+                log="fabric.telemetry",
+                payload=b"p",
+                rng=rng,
+            )
+        drained = boundary.drain()
+        assert [e.seq for e in drained] == [0, 1, 2]
+        assert len(boundary) == 0
+        assert boundary.drain() == ()
+        # seq keeps counting across drains: the stream stays a total order.
+        envelope = boundary.export(
+            send_t=2.0,
+            src_cell=0,
+            dst_cell=1,
+            log="fabric.telemetry",
+            payload=b"p",
+            rng=rng,
+        )
+        assert envelope.seq == 3
+
+
+class TestTransportSeam:
+    def test_export_append_requires_a_bound_boundary(self):
+        engine = Engine(seed=0)
+        transport = Transport(engine)
+        with pytest.raises(AppendError, match="no boundary is bound"):
+            transport.export_append(
+                0, 1, "fabric.telemetry", b"p", np.random.default_rng(0)
+            )
+
+    def test_double_bind_rejected(self):
+        engine = Engine(seed=0)
+        transport = Transport(engine)
+        transport.bind_boundary(ShardBoundary(CrossShardLink()))
+        with pytest.raises(AppendError, match="already bound"):
+            transport.bind_boundary(ShardBoundary(CrossShardLink()))
+
+    def test_export_append_stamps_the_engine_clock(self):
+        engine = Engine(seed=0)
+        transport = Transport(engine)
+        boundary = ShardBoundary(CrossShardLink())
+        transport.bind_boundary(boundary)
+        engine.drain_window(3.25)
+        envelope = transport.export_append(
+            2, 0, "fabric.telemetry", b"p", np.random.default_rng(0)
+        )
+        assert envelope.send_t == 3.25
+        assert envelope.dst_cell == 0
+        assert boundary.drain() == (envelope,)
+
+    def test_local_appends_still_work_alongside_the_boundary(self):
+        engine = Engine(seed=0)
+        transport = Transport(engine)
+        transport.bind_boundary(ShardBoundary(CrossShardLink()))
+        node = CSPOTNode(engine, "site000")
+        node.create_log("telemetry", element_size=32, history_size=8)
+        node.local_append("telemetry", b"local")
+        log = node.namespace.get("telemetry")
+        assert [entry.payload for entry in log.scan()] == [b"local"]

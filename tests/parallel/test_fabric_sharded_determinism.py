@@ -1,0 +1,217 @@
+"""The cross-shard tentpole: partitioning the fabric never changes a byte.
+
+The headline CI invariant of the sharded fabric: one multi-site run --
+sensors, CSPOT transfers crossing shard boundaries, chaos faults severing
+links mid-run -- merges to byte-identical canonical bytes (report JSON,
+trace JSONL, SLO JSONL, SHA-256 digest) for 1, 2, 4, and 8 workers, on
+either executor. Everything here compares full serializations, never
+approximate aggregates: the contract is bit-identity.
+"""
+
+import pytest
+
+from repro.chaos import ShardChaosCampaign
+from repro.core import ShardedFabricScenario
+from repro.cspot import CrossShardLink, NetworkPath
+from repro.parallel import CellFault, LinkFault
+
+pytestmark = pytest.mark.filterwarnings("error")
+
+#: A campaign whose link fault sits on a shard boundary for every worker
+#: count under test (cell 3 is the last cell of worker 0 at w=2, its own
+#: worker at w=8): severed windows park telemetry, healthy windows flush.
+BOUNDARY_CAMPAIGN = ShardChaosCampaign(
+    faults=(CellFault(cell_index=5, window=1, derate=0.25),),
+    link_faults=(LinkFault(cell_index=3, start_window=0, end_window=1),),
+)
+
+
+def _scenario(**overrides):
+    defaults = dict(
+        n_sites=8,
+        seed=23,
+        horizon_s=6.0,
+        window_s=2.0,
+        workers=1,
+        executor="serial",
+    )
+    defaults.update(overrides)
+    return ShardedFabricScenario(**defaults)
+
+
+class TestWorkerCountInvariance:
+    """The acceptance gate: byte-identical output for 1, 2, 4, 8 workers."""
+
+    def test_reports_byte_identical_across_worker_counts(self):
+        reference = _scenario(workers=1).run()
+        for workers in (2, 4, 8):
+            report = _scenario(workers=workers).run()
+            assert report.canonical_json() == reference.canonical_json(), (
+                f"workers={workers} diverged from single-shard bytes"
+            )
+
+    def test_trace_and_slo_jsonl_identical_across_worker_counts(self):
+        reference = _scenario(workers=1).run()
+        for workers in (2, 4, 8):
+            report = _scenario(workers=workers).run()
+            assert report.trace_jsonl() == reference.trace_jsonl()
+            assert report.slo_jsonl() == reference.slo_jsonl()
+
+    def test_digests_identical_across_worker_counts(self):
+        digests = {
+            workers: _scenario(workers=workers).run().digest
+            for workers in (1, 2, 4, 8)
+        }
+        assert len(set(digests.values())) == 1, digests
+
+    def test_different_seed_changes_digest(self):
+        assert _scenario().run().digest != _scenario(seed=24).run().digest
+
+
+class TestChaosInvariance:
+    """Faults spanning shard boundaries stay worker-count-invariant."""
+
+    def test_chaos_run_byte_identical_across_worker_counts(self):
+        reference = _scenario(campaign=BOUNDARY_CAMPAIGN).run()
+        assert reference.parked_total > 0  # the severance actually bit
+        for workers in (2, 4, 8):
+            report = _scenario(
+                workers=workers, campaign=BOUNDARY_CAMPAIGN
+            ).run()
+            assert report.canonical_json() == reference.canonical_json(), (
+                f"workers={workers} diverged under chaos"
+            )
+
+    def test_chaos_changes_the_output(self):
+        assert (
+            _scenario(campaign=BOUNDARY_CAMPAIGN).run().digest
+            != _scenario().run().digest
+        )
+
+    def test_disabled_campaign_is_bit_identical_to_none(self):
+        disabled = ShardChaosCampaign(
+            faults=BOUNDARY_CAMPAIGN.faults,
+            link_faults=BOUNDARY_CAMPAIGN.link_faults,
+            enabled=False,
+        )
+        assert (
+            _scenario(campaign=disabled).run().canonical_json()
+            == _scenario().run().canonical_json()
+        )
+
+    def test_parked_telemetry_is_flushed_not_lost(self):
+        clean = _scenario().run()
+        chaotic = _scenario(campaign=BOUNDARY_CAMPAIGN).run()
+        # The fault window ends inside the run, so every parked payload
+        # flushes at the first healthy window: nothing remains parked and
+        # the hub still ingests every summary ever produced.
+        assert chaotic.parked_total == 2
+        assert chaotic.parked_remaining == 0
+        assert chaotic.transfers_sent == clean.transfers_sent
+        assert (
+            chaotic.transfers_delivered + chaotic.transfers_in_flight
+            == chaotic.transfers_sent
+        )
+
+    def test_outlasting_severance_leaves_payloads_parked(self):
+        campaign = ShardChaosCampaign.severed_link(3, 0, 99)
+        report = _scenario(campaign=campaign).run()
+        assert report.parked_remaining == report.n_windows
+        assert report.per_site_parked[3] == report.n_windows
+        assert report.per_site_sent[3] == 0
+
+
+class TestExecutorEquivalence:
+    def test_spawn_matches_serial_bytes(self):
+        serial = _scenario(workers=2).run()
+        spawn_scenario = _scenario(workers=2, executor="spawn")
+        spawn = spawn_scenario.run()
+        assert spawn.canonical_json() == serial.canonical_json()
+        assert spawn.trace_jsonl() == serial.trace_jsonl()
+        # The wall-clock side channel exists but never touches the bytes.
+        assert len(spawn_scenario.last_timings) == 2
+        for timing in spawn_scenario.last_timings:
+            assert timing["compute_wall_s"] >= 0.0
+
+    def test_spawn_matches_serial_under_chaos(self):
+        serial = _scenario(workers=4, campaign=BOUNDARY_CAMPAIGN).run()
+        spawn = _scenario(
+            workers=4, executor="spawn", campaign=BOUNDARY_CAMPAIGN
+        ).run()
+        assert spawn.canonical_json() == serial.canonical_json()
+
+
+class TestTransferLedger:
+    def test_ledger_balances(self):
+        report = _scenario(workers=2).run()
+        assert report.transfers_sent == sum(report.per_site_sent)
+        assert (
+            report.transfers_delivered + report.transfers_in_flight
+            == report.transfers_sent
+        )
+        assert report.transfer_sketch["count"] == report.transfers_sent
+        assert report.ingest_sketch["count"] == report.transfers_delivered
+
+    def test_hub_site_sends_through_the_same_bus(self):
+        # Uniformity: the hub's own telemetry also rides the bus, so the
+        # partition cannot matter -- every site reports the same count.
+        report = _scenario().run()
+        sent = set(report.per_site_sent)
+        assert sent == {report.n_windows}
+
+    def test_transfers_past_the_horizon_are_in_flight(self):
+        # A degraded backhaul (~2.4 s per transfer) leaves the last
+        # window's exports (sent at t=4.0, horizon 6.0) with no delivery
+        # barrier inside the run; they are accounted in flight, never
+        # silently dropped.
+        slow = CrossShardLink(
+            path=NetworkPath("degraded backhaul", one_way_ms=600.0)
+        )
+        report = _scenario(link=slow).run()
+        assert report.n_windows == 3
+        assert report.transfers_in_flight == report.n_sites
+        assert report.in_flight_bytes > 0
+        assert (
+            report.transfers_delivered + report.transfers_in_flight
+            == report.transfers_sent
+        )
+
+    def test_in_flight_accounting_is_worker_count_invariant(self):
+        slow = CrossShardLink(
+            path=NetworkPath("degraded backhaul", one_way_ms=600.0)
+        )
+        digests = {
+            _scenario(workers=w, link=slow).run().digest for w in (1, 2, 8)
+        }
+        assert len(digests) == 1
+
+    def test_slo_timeline_covers_every_delivery(self):
+        report = _scenario().run()
+        assert len(report.slo) == report.transfers_delivered
+        for record in report.slo:
+            assert record["kind"] == "slo.eval"
+            assert record["ok"] == (
+                record["value_s"] <= record["budget_s"]
+            )
+
+    def test_trace_records_are_totally_ordered(self):
+        report = _scenario(workers=4, campaign=BOUNDARY_CAMPAIGN).run()
+        keys = [(r["t"], r["shard"], r["seq"]) for r in report.trace]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+
+
+class TestValidation:
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            _scenario(horizon_s=-1.0)
+        with pytest.raises(ValueError):
+            _scenario(window_s=0.0)
+        with pytest.raises(ValueError):
+            _scenario(window_s=40.0)  # exceeds horizon
+        with pytest.raises(ValueError):
+            _scenario(workers=9)  # more workers than sites
+        with pytest.raises(ValueError):
+            _scenario(hub_site=8)  # out of range
+        with pytest.raises(ValueError):
+            _scenario(executor="threads")

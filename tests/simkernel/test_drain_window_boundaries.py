@@ -1,0 +1,162 @@
+"""Boundary regressions for ``Engine.drain_window`` -- the barrier seam.
+
+The conservative window-barrier protocol in :mod:`repro.parallel` leans
+on exact barrier semantics: an event scheduled *exactly at* the barrier
+belongs to the window being drained, a zero-length window is a legal
+no-op that still pins the clock, reschedules landing on the current
+barrier drain in the same call, and a barriered run processes events in
+exactly the order an unbarriered ``run()`` would.
+"""
+
+import pytest
+
+from repro.simkernel import Engine, SimulationError
+
+pytestmark = pytest.mark.filterwarnings("error")
+
+
+def _collector(engine, log, label):
+    def _cb(_event):
+        log.append((engine.now, label))
+
+    return _cb
+
+
+class TestBarrierEdge:
+    def test_event_exactly_at_barrier_is_drained(self):
+        engine = Engine(seed=0)
+        log = []
+        engine.schedule_at(1.0).add_callback(_collector(engine, log, "edge"))
+        assert engine.drain_window(1.0) == 1
+        assert log == [(1.0, "edge")]
+        assert engine.now == 1.0
+
+    def test_event_just_past_barrier_is_not_drained(self):
+        engine = Engine(seed=0)
+        log = []
+        engine.schedule_at(1.0 + 1e-12).add_callback(
+            _collector(engine, log, "past")
+        )
+        assert engine.drain_window(1.0) == 0
+        assert log == []
+        assert len(engine) == 1  # still pending for the next window
+
+    def test_zero_length_window_is_a_pinning_noop(self):
+        engine = Engine(seed=0)
+        log = []
+        engine.schedule_at(2.0).add_callback(_collector(engine, log, "later"))
+        assert engine.drain_window(1.0) == 0
+        # Draining to the *same* barrier again: zero events, clock stays.
+        assert engine.drain_window(1.0) == 0
+        assert engine.now == 1.0
+        assert log == []
+
+    def test_drain_into_the_past_raises(self):
+        engine = Engine(seed=0)
+        engine.drain_window(5.0)
+        with pytest.raises(SimulationError, match="past"):
+            engine.drain_window(4.0)
+
+
+class TestSameWindowReschedules:
+    def test_reschedule_on_current_barrier_drains_in_same_call(self):
+        engine = Engine(seed=0)
+        log = []
+
+        def chain(_event):
+            log.append((engine.now, "first"))
+            # Scheduled exactly at the barrier, from inside the drain:
+            # still part of this window.
+            engine.schedule_at(1.0).add_callback(
+                _collector(engine, log, "rescheduled")
+            )
+
+        engine.schedule_at(1.0).add_callback(chain)
+        assert engine.drain_window(1.0) == 2
+        assert log == [(1.0, "first"), (1.0, "rescheduled")]
+        assert len(engine) == 0
+
+    def test_cascading_same_time_reschedules_all_drain(self):
+        engine = Engine(seed=0)
+        log = []
+
+        def make(depth):
+            def _cb(_event):
+                log.append(depth)
+                if depth < 5:
+                    engine.schedule_at(1.0).add_callback(make(depth + 1))
+
+            return _cb
+
+        engine.schedule_at(1.0).add_callback(make(0))
+        assert engine.drain_window(2.0) == 6
+        assert log == [0, 1, 2, 3, 4, 5]
+
+    def test_reschedule_past_barrier_waits_for_next_window(self):
+        engine = Engine(seed=0)
+        log = []
+
+        def chain(_event):
+            log.append("in-window")
+            engine.schedule_at(1.5).add_callback(
+                _collector(engine, log, "next-window")
+            )
+
+        engine.schedule_at(0.5).add_callback(chain)
+        assert engine.drain_window(1.0) == 1
+        assert log == ["in-window"]
+        assert engine.drain_window(2.0) == 1
+        assert log == ["in-window", (1.5, "next-window")]
+
+
+class TestOrderEquivalence:
+    @staticmethod
+    def _build(engine, log):
+        # A deliberately tie-heavy calendar: several events per instant,
+        # plus a mid-run reschedule.
+        for i, t in enumerate([0.0, 0.5, 0.5, 1.0, 1.0, 1.0, 2.5, 3.0]):
+            engine.schedule_at(t).add_callback(
+                _collector(engine, log, f"e{i}")
+            )
+
+        def late(_event):
+            log.append((engine.now, "late-parent"))
+            engine.schedule_at(2.75).add_callback(
+                _collector(engine, log, "late-child")
+            )
+
+        engine.schedule_at(2.5).add_callback(late)
+
+    def test_barriered_drain_matches_unbarriered_run_order(self):
+        free_log = []
+        free = Engine(seed=0)
+        self._build(free, free_log)
+        free.run()
+
+        barriered_log = []
+        barriered = Engine(seed=0)
+        self._build(barriered, barriered_log)
+        drained = 0
+        for barrier in (0.25, 0.5, 0.75, 1.0, 2.0, 2.5, 2.75, 3.0):
+            drained += barriered.drain_window(barrier)
+        assert barriered_log == free_log
+        assert drained == len(free_log)
+
+    def test_barrier_placement_never_changes_order(self):
+        reference = []
+        engine = Engine(seed=0)
+        self._build(engine, reference)
+        engine.run()
+
+        for barriers in (
+            [3.0],
+            [1.0, 3.0],
+            [0.5, 1.0, 1.5, 2.0, 2.5, 3.0],
+            [0.1 * k for k in range(1, 31)],
+        ):
+            log = []
+            e = Engine(seed=0)
+            self._build(e, log)
+            for barrier in barriers:
+                e.drain_window(barrier)
+            assert log == reference, f"barriers {barriers} changed the order"
