@@ -27,8 +27,25 @@ scale):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+from repro.simkernel.streams import CFD_RUNTIME
+
+if TYPE_CHECKING:
+    from repro.simkernel.engine import Engine
+
+
+def runtime_rng(engine: Engine) -> np.random.Generator:
+    """The CFD runtime-sampling stream, drawn by its owning package.
+
+    Callers composing a fabric pass this generator into
+    :meth:`CfdPerformanceModel.sample_total_time` instead of naming the
+    ``cfd.runtime`` stream themselves (REPRO502 flags foreign draws).
+    """
+    return engine.rng(CFD_RUNTIME)
+
 
 #: Figure 7's 64-core anchor.
 FIG7_ANCHOR_MEAN_S = 420.39

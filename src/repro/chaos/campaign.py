@@ -14,7 +14,7 @@ streams, and two same-seed campaigns land faults at identical times.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Generator, Iterable, Optional, Sequence
 
 from repro.chaos.faults import (
     CspotPartitionInjector,
@@ -23,9 +23,11 @@ from repro.chaos.faults import (
     UePowerLossInjector,
 )
 from repro.chaos.report import FaultOutcome, ResilienceReport, build_report
+from repro.simkernel.streams import CHAOS_CAMPAIGN
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.fabric import XGFabric
+    from repro.simkernel.events import Event
 
 
 class ChaosCampaign:
@@ -67,7 +69,9 @@ class ChaosCampaign:
             )
         return self
 
-    def _drive(self, fabric: "XGFabric", fault: FaultInjection) -> Generator:
+    def _drive(
+        self, fabric: "XGFabric", fault: FaultInjection
+    ) -> Generator["Event", Any, None]:
         engine = fabric.engine
         yield engine.timeout(fault.start_s)
         injected_at = engine.now
@@ -97,7 +101,9 @@ class ChaosCampaign:
         self._observe(fabric, outcome)
 
     @staticmethod
-    def _snapshot(fabric: "XGFabric", fault: FaultInjection) -> Optional[dict]:
+    def _snapshot(
+        fabric: "XGFabric", fault: FaultInjection
+    ) -> Optional[dict[str, Any]]:
         """Freeze the fabric's flight recorder at injection time, if wired.
 
         The dump captures the span/metric context the fault landed in; it
@@ -204,7 +210,7 @@ def randomized_campaign(
     """
     if n_faults < 1:
         raise ValueError(f"n_faults must be >= 1: {n_faults}")
-    rng = fabric.engine.rng("chaos")
+    rng = fabric.engine.rng(CHAOS_CAMPAIGN)
     faults: list[FaultInjection] = []
     for i in range(n_faults):
         kind = kinds[i % len(kinds)]

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.fabric import XGFabric
+    from repro.cspot.node import CSPOTNode
 
 
 @dataclass
@@ -143,7 +144,7 @@ class NodePowerLossInjector(FaultInjection):
             self.name = f"power-loss:{self.node}@{self.start_s:.0f}s"
         super().__post_init__()
 
-    def _target(self, fabric: "XGFabric"):
+    def _target(self, fabric: "XGFabric") -> "CSPOTNode":
         try:
             return {"unl": fabric.unl, "ucsb": fabric.ucsb, "nd": fabric.nd}[
                 self.node

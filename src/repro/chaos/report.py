@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.core.telemetry import TelemetryRecord
 
@@ -48,7 +48,7 @@ class FaultOutcome:
     reverted_at_s: float
     recovered_at_s: Optional[float] = None
     detail: str = ""
-    recorder_dump: Optional[dict] = None
+    recorder_dump: Optional[dict[str, Any]] = None
 
     @property
     def recovered(self) -> bool:
@@ -61,7 +61,7 @@ class FaultOutcome:
             return None
         return self.recovered_at_s - self.injected_at_s
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         out = {
             "name": self.name,
             "layer": self.layer,
@@ -98,7 +98,7 @@ class DeliveryAudit:
     def exactly_once(self) -> bool:
         return self.lost == 0 and self.duplicates == 0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "completed_sends": self.completed_sends,
             "records_in_log": self.records_in_log,
@@ -157,7 +157,7 @@ class ResilienceReport:
     def all_recovered(self) -> bool:
         return all(f.recovered for f in self.faults)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "seed": self.seed,
             "duration_s": self.duration_s,

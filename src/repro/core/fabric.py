@@ -17,7 +17,7 @@ from typing import Any, Generator, Optional, Sequence
 import numpy as np
 
 from repro.cfd.case import CfdCase, TelemetrySnapshot, case_from_telemetry
-from repro.cfd.perfmodel import CfdPerformanceModel
+from repro.cfd.perfmodel import CfdPerformanceModel, runtime_rng
 from repro.core.config import FabricConfig
 from repro.core.digital_twin import DigitalTwin
 from repro.core.telemetry import TELEMETRY_ELEMENT_SIZE, TelemetryRecord
@@ -41,7 +41,12 @@ from repro.radio.network import NetworkDeployment, PrivateCellularNetwork
 from repro.radio.ue import UserEquipment
 from repro.sensors.breach import BreachSchedule
 from repro.sensors.robot import FarmNgRobot, SurveilReport
-from repro.sensors.station import StationReading, WeatherStation, station_grid
+from repro.sensors.station import (
+    StationReading,
+    WeatherStation,
+    instrument_rng,
+    station_grid,
+)
 from repro.sensors.weather import SyntheticWeather
 from repro.simkernel import Engine, Event
 
@@ -175,7 +180,7 @@ class XGFabric:
         self.breaches = breaches if breaches is not None else BreachSchedule()
 
         # -- physical world ---------------------------------------------------
-        self.weather = SyntheticWeather(self.engine.rng("sensors.weather"))
+        self.weather = SyntheticWeather.from_engine(self.engine)
         self.stations: list[WeatherStation] = station_grid(cfg.n_interior_stations)
         self.exterior_station = next(s for s in self.stations if not s.interior)
         self.robot = FarmNgRobot(self.engine)
@@ -349,7 +354,7 @@ class XGFabric:
                 reading = station.read(
                     self.weather,
                     self.engine.now,
-                    self.engine.rng("sensors.instruments"),
+                    instrument_rng(self.engine),
                     breaches=self.breaches,
                 )
                 readings.append(reading)
@@ -482,7 +487,7 @@ class XGFabric:
             )
             runtime = float(
                 self.perfmodel.sample_total_time(
-                    cfg.cores_per_simulation, self.engine.rng("cfd.runtime")
+                    cfg.cores_per_simulation, runtime_rng(self.engine)
                 )[0]
             )
             queue_start = self.engine.now

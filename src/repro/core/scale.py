@@ -22,6 +22,7 @@ from typing import Any
 from repro.radio.population import CellPopulation, UEPopulation
 from repro.simkernel.engine import Engine
 from repro.simkernel.events import Event
+from repro.simkernel.streams import SCALE_RADIO
 
 
 @dataclass(frozen=True)
@@ -101,7 +102,7 @@ class ScaleScenario:
         """Realize the population and run the sampling horizon."""
         engine = Engine(seed=self.seed)
         self._cells = self.population.realize(engine.rngs)
-        rng = engine.rng("scale.radio")
+        rng = engine.rng(SCALE_RADIO)
         samples_per_window = max(int(round(self.window_s)), 1)
 
         totals = {"samples": 0, "sum_bps": 0.0, "events": 0}

@@ -24,12 +24,16 @@ append cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np
 
-from repro.cspot.transport import DEFAULT_APPEND_COST_S, NetworkPath
+from repro.cspot.transport import (
+    DEFAULT_APPEND_COST_S,
+    NetworkPath,
+    lognormal_delay_s,
+)
 
 #: Message legs in one uncached remote append: size request, size
 #: response, payload transfer, ack (section 4.2's two-round-trip protocol).
@@ -50,26 +54,61 @@ def default_site_hub_path() -> NetworkPath:
 
 @dataclass(frozen=True)
 class CrossShardLink:
-    """The latency model of one cross-shard CSPOT path.
+    """The latency model of one cross-shard CSPOT path: pure data.
 
-    Wraps a :class:`~repro.cspot.transport.NetworkPath` with the
-    two-round-trip append protocol cost so exported transfers are stamped
-    with the same latency shape an in-engine
+    Mirrors a :class:`~repro.cspot.transport.NetworkPath`'s latency shape
+    plus the two-round-trip append protocol cost, so exported transfers
+    are stamped with the same distribution an in-engine
     :meth:`~repro.cspot.transport.Transport.remote_append` would spend.
+
+    Deliberately *not* a wrapped ``NetworkPath``: the link rides inside
+    every :class:`~repro.parallel.fabric_shard.FabricShardTask` across
+    the coordinator->worker pickling seam, and a ``NetworkPath`` carries
+    a :class:`~repro.cspot.faults.FaultInjector` whose bound generator is
+    ambient state (the shard-boundary purity rule, REPRO511). Everything
+    here is a plain scalar, so a pickled link is a value, never a
+    snapshot of live RNG state. Defaults follow the calibrated site->hub
+    leg (:func:`default_site_hub_path`).
     """
 
-    path: NetworkPath = field(default_factory=default_site_hub_path)
+    name: str = "site->hub (5g+internet)"
+    one_way_ms: float = 25.0
+    jitter_ms: float = 4.0
     append_cost_s: float = DEFAULT_APPEND_COST_S
 
     def __post_init__(self) -> None:
+        if self.one_way_ms <= 0:
+            raise ValueError(
+                f"one_way_ms must be positive: {self.one_way_ms}"
+            )
+        if self.jitter_ms < 0:
+            raise ValueError(
+                f"jitter_ms must be non-negative: {self.jitter_ms}"
+            )
         if self.append_cost_s < 0:
             raise ValueError(
                 f"append_cost_s must be non-negative: {self.append_cost_s}"
             )
 
+    @classmethod
+    def from_path(
+        cls, path: NetworkPath, append_cost_s: float = DEFAULT_APPEND_COST_S
+    ) -> "CrossShardLink":
+        """The pure link equivalent of ``path`` (drops its fault state)."""
+        return cls(
+            name=path.name,
+            one_way_ms=path.one_way_ms,
+            jitter_ms=path.jitter_ms,
+            append_cost_s=append_cost_s,
+        )
+
+    def delay_s(self, rng: np.random.Generator) -> float:
+        """Draw one leg's latency (same math as ``NetworkPath.delay_s``)."""
+        return lognormal_delay_s(self.one_way_ms, self.jitter_ms, rng)
+
     def transfer_latency_s(self, rng: np.random.Generator) -> float:
         """Draw one transfer's end-to-end latency (4 legs + append cost)."""
-        legs = sum(self.path.delay_s(rng) for _ in range(TRANSFER_LEGS))
+        legs = sum(self.delay_s(rng) for _ in range(TRANSFER_LEGS))
         return legs + self.append_cost_s
 
 

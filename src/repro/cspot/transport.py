@@ -49,6 +49,25 @@ from repro.cspot.faults import FaultInjector
 from repro.cspot.node import CSPOTNode
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.simkernel import Engine, Process
+from repro.simkernel.streams import CSPOT_TRANSPORT, cspot_fault_stream
+
+
+def lognormal_delay_s(
+    one_way_ms: float, jitter_ms: float, rng: np.random.Generator
+) -> float:
+    """One latency-leg draw: lognormal with the given mean/SD (in ms).
+
+    Shared by :class:`NetworkPath` and the shard boundary's pure
+    :class:`~repro.cspot.boundary.CrossShardLink`, so the two paths stamp
+    byte-identical draws from identical generator state.
+    """
+    if jitter_ms == 0.0:
+        return one_way_ms / 1e3
+    mean, sd = one_way_ms, jitter_ms
+    # Lognormal with the requested mean and SD.
+    sigma2 = np.log(1.0 + (sd / mean) ** 2)
+    mu = np.log(mean) - 0.5 * sigma2
+    return float(rng.lognormal(mu, np.sqrt(sigma2))) / 1e3
 
 
 @dataclass
@@ -81,13 +100,7 @@ class NetworkPath:
 
     def delay_s(self, rng: np.random.Generator) -> float:
         """Draw one leg's latency in seconds."""
-        if self.jitter_ms == 0.0:
-            return self.one_way_ms / 1e3
-        mean, sd = self.one_way_ms, self.jitter_ms
-        # Lognormal with the requested mean and SD.
-        sigma2 = np.log(1.0 + (sd / mean) ** 2)
-        mu = np.log(mean) - 0.5 * sigma2
-        return float(rng.lognormal(mu, np.sqrt(sigma2))) / 1e3
+        return lognormal_delay_s(self.one_way_ms, self.jitter_ms, rng)
 
 
 #: Server-side cost of the durable append itself (storage write + seqno).
@@ -101,7 +114,7 @@ class Transport:
         self.engine = engine
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._paths: dict[tuple[str, str], NetworkPath] = {}
-        self._rng = engine.rng("cspot.transport")
+        self._rng = engine.rng(CSPOT_TRANSPORT)
         self._boundary: Optional["ShardBoundary"] = None
 
     # -- shard boundary seam ----------------------------------------------------
@@ -154,7 +167,7 @@ class Transport:
         (``cspot.faults.<src>-<dst>``) unless the injector was built with
         an explicit generator, so ack-loss draws follow the master seed.
         """
-        path.faults.bind_rng(self.engine.rng(f"cspot.faults.{src}-{dst}"))
+        path.faults.bind_rng(self.engine.rng(cspot_fault_stream(src, dst)))
         self._paths[(src, dst)] = path
         if bidirectional:
             self._paths[(dst, src)] = path

@@ -19,6 +19,7 @@ from repro.hpc.cluster import Cluster
 from repro.hpc.job import Job
 from repro.hpc.modules import ModuleSystem, RenderStrategy, resolve_render_environment
 from repro.simkernel import Engine
+from repro.simkernel.streams import hpc_background_load_stream
 
 
 class BatchSystem(Enum):
@@ -83,8 +84,13 @@ class QueueLoadGenerator:
         Mean background-job arrival rate.
     mean_job_nodes / mean_job_hours:
         Job size and duration distribution means (geometric / exponential).
-    rng_name:
-        Engine RNG stream name.
+
+    The arrival stream is keyed by *site name*
+    (``hpc.background-load.<site>``): generators for different sites on
+    one engine draw from independent streams, so adding a second site's
+    load never perturbs the first site's schedule. (An earlier revision
+    shared one ``hpc.background-load`` stream across every generator;
+    the whole-program stream-provenance pass surfaced the collision.)
     """
 
     def __init__(
@@ -93,7 +99,6 @@ class QueueLoadGenerator:
         arrival_rate_per_hour: float,
         mean_job_nodes: float = 4.0,
         mean_job_hours: float = 3.0,
-        rng_name: str = "hpc.background-load",
     ) -> None:
         if arrival_rate_per_hour < 0:
             raise ValueError("negative arrival rate")
@@ -103,7 +108,7 @@ class QueueLoadGenerator:
         self.arrival_rate_per_hour = arrival_rate_per_hour
         self.mean_job_nodes = mean_job_nodes
         self.mean_job_hours = mean_job_hours
-        self._rng = site.engine.rng(rng_name)
+        self._rng = site.engine.rng(hpc_background_load_stream(site.name))
         self._count = 0
 
     def offered_load(self) -> float:

@@ -6,9 +6,11 @@ Format is line-oriented text so the file diffs and reviews like code::
     REPRO101 0123456789abcdef src/repro/foo.py  # justification
 
 An entry matches any current violation with the same fingerprint (code +
-path + offending line text -- see ``Violation.fingerprint``), so baselined
-lines survive unrelated edits but are invalidated the moment the offending
-line itself changes.
+file basename + offending line text -- see ``Violation.fingerprint``), so
+baselined lines survive unrelated edits *and* directory moves, but are
+invalidated the moment the offending line itself changes. The ``path``
+field on each entry is informational (where the violation lived when it
+was grandfathered).
 """
 
 from __future__ import annotations

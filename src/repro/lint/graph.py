@@ -1,0 +1,830 @@
+"""Whole-program graph: per-module summaries the cross-module passes read.
+
+The per-file rules in :mod:`repro.lint.rules` see one module at a time;
+the ``REPRO5xx`` family needs facts that only exist *between* modules --
+which package owns a stream namespace, which helper builds a stream name,
+which classes a pickled task reaches. This module digests every scanned
+file into a small, JSON-serializable :class:`ModuleSummary` and collects
+them into a :class:`ProgramGraph`.
+
+Summaries are deliberately shallow: they record *declarations* (string
+constants, stream-helper return shapes, class fields, namespace tables)
+and *stream call sites* as a tiny expression IR, and leave all resolution
+to the program passes. That keeps a summary a pure function of one file's
+bytes, which is what makes the content-hashed :class:`SummaryCache`
+sound: a file whose SHA-256 is unchanged reuses its cached summary
+verbatim, so CI rebuilds only what a PR touched.
+
+Stream name IR (the ``arg`` of a call site and the ``returns`` of a
+helper) is a nested dict with a ``k`` tag:
+
+========== ============================================================
+``str``    literal string (``v``)
+``fstr``   concatenation of ``parts`` (an f-string)
+``name``   a module-level constant reference, import-resolved (``v``)
+``param``  enclosing-function parameter (``v``, str ``default`` or None)
+``self``   ``self.<v>`` attribute, with the enclosing class (``cls``)
+``call``   helper call: resolved ``fn``, positional ``args``, ``kwargs``
+``opaque`` anything else; resolves to a ``<v>`` placeholder
+========== ============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.lint.context import ImportTable, classify_scope, _parse_suppressions
+
+#: Bump when the summary shape changes; stale caches are discarded whole.
+CACHE_VERSION = 2
+
+#: Attribute names that read a named stream off a registry object.
+_REGISTRY_METHODS = frozenset({"get", "reset"})
+
+#: Receiver identifiers treated as an RNG registry for ``.get``/``.reset``.
+_REGISTRY_RECEIVERS = frozenset({"rngs", "registry", "rng_registry"})
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a repo-relative posix path.
+
+    ``src/repro/radio/population.py`` -> ``repro.radio.population``;
+    ``tests/lint/test_cli.py`` -> ``tests.lint.test_cli``; an
+    ``__init__.py`` names its package.
+    """
+    parts = list(Path(path.replace("\\", "/")).with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class StreamCallSite:
+    """One ``engine.rng(...)`` / ``registry.get(...)`` style draw."""
+
+    line: int
+    col: int
+    method: str  # "rng" | "get" | "reset"
+    arg: dict[str, Any]  # expression IR, see module docstring
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "line": self.line, "col": self.col,
+            "method": self.method, "arg": self.arg,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "StreamCallSite":
+        return cls(
+            line=data["line"], col=data["col"],
+            method=data["method"], arg=data["arg"],
+        )
+
+
+@dataclass
+class FunctionSummary:
+    """A module-level function's stream-name shape (if it has one)."""
+
+    params: list[str]
+    defaults: dict[str, str]  # param -> string default
+    returns: dict[str, Any] | None  # expression IR of the return value
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "params": self.params, "defaults": self.defaults,
+            "returns": self.returns,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "FunctionSummary":
+        return cls(
+            params=list(data["params"]),
+            defaults=dict(data["defaults"]),
+            returns=data["returns"],
+        )
+
+
+@dataclass
+class FieldSummary:
+    """One class field: where it is declared and what type it references."""
+
+    line: int
+    #: Import-resolved dotted names appearing in the annotation.
+    ann_names: list[str]
+    #: Resolved target of a ``self.x = ctor(...)`` assignment, if any.
+    value_call: str | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "line": self.line, "ann": self.ann_names, "call": self.value_call,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "FieldSummary":
+        return cls(
+            line=data["line"], ann_names=list(data["ann"]),
+            value_call=data["call"],
+        )
+
+
+@dataclass
+class ClassSummary:
+    """A class's fields (annotated and ``self.x =`` assigned) and bases."""
+
+    line: int
+    fields: dict[str, FieldSummary]
+    bases: list[str]
+    str_defaults: dict[str, str] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "line": self.line,
+            "fields": {k: v.to_json() for k, v in self.fields.items()},
+            "bases": self.bases,
+            "str_defaults": self.str_defaults,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ClassSummary":
+        return cls(
+            line=data["line"],
+            fields={
+                k: FieldSummary.from_json(v)
+                for k, v in data["fields"].items()
+            },
+            bases=list(data["bases"]),
+            str_defaults=dict(data.get("str_defaults", {})),
+        )
+
+
+@dataclass
+class NamespaceDecl:
+    """One ``StreamNamespace(...)`` entry from a ``STREAM_NAMESPACES``."""
+
+    pattern: str
+    owner: str
+    description: str
+    line: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "pattern": self.pattern, "owner": self.owner,
+            "description": self.description, "line": self.line,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "NamespaceDecl":
+        return cls(
+            pattern=data["pattern"], owner=data["owner"],
+            description=data["description"], line=data["line"],
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the program passes need to know about one file."""
+
+    path: str
+    module: str
+    scope: str
+    constants: dict[str, str] = field(default_factory=dict)
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionSummary] = field(default_factory=dict)
+    classes: dict[str, ClassSummary] = field(default_factory=dict)
+    namespaces: list[NamespaceDecl] = field(default_factory=list)
+    seam_roots: list[str] = field(default_factory=list)
+    call_sites: list[StreamCallSite] = field(default_factory=list)
+    suppress_lines: dict[int, list[str]] = field(default_factory=dict)
+    suppress_file: list[str] = field(default_factory=list)
+    line_texts: dict[int, str] = field(default_factory=dict)
+
+    def suppressed(self, line: int, code: str) -> bool:
+        """Mirror of ``FileContext.suppressed`` over the stored maps."""
+        if "*" in self.suppress_file or code in self.suppress_file:
+            return True
+        codes = self.suppress_lines.get(line, [])
+        return "*" in codes or code in codes
+
+    def line_text(self, line: int) -> str:
+        return self.line_texts.get(line, "")
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "scope": self.scope,
+            "constants": self.constants,
+            "imports": self.imports,
+            "functions": {k: v.to_json() for k, v in self.functions.items()},
+            "classes": {k: v.to_json() for k, v in self.classes.items()},
+            "namespaces": [n.to_json() for n in self.namespaces],
+            "seam_roots": self.seam_roots,
+            "call_sites": [c.to_json() for c in self.call_sites],
+            "suppress_lines": {
+                str(k): v for k, v in self.suppress_lines.items()
+            },
+            "suppress_file": self.suppress_file,
+            "line_texts": {str(k): v for k, v in self.line_texts.items()},
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            path=data["path"],
+            module=data["module"],
+            scope=data["scope"],
+            constants=dict(data["constants"]),
+            imports=dict(data["imports"]),
+            functions={
+                k: FunctionSummary.from_json(v)
+                for k, v in data["functions"].items()
+            },
+            classes={
+                k: ClassSummary.from_json(v)
+                for k, v in data["classes"].items()
+            },
+            namespaces=[
+                NamespaceDecl.from_json(n) for n in data["namespaces"]
+            ],
+            seam_roots=list(data["seam_roots"]),
+            call_sites=[
+                StreamCallSite.from_json(c) for c in data["call_sites"]
+            ],
+            suppress_lines={
+                int(k): list(v) for k, v in data["suppress_lines"].items()
+            },
+            suppress_file=list(data["suppress_file"]),
+            line_texts={int(k): v for k, v in data["line_texts"].items()},
+        )
+
+
+class _SummaryBuilder(ast.NodeVisitor):
+    """Single AST walk collecting a :class:`ModuleSummary`."""
+
+    def __init__(self, summary: ModuleSummary, imports: ImportTable) -> None:
+        self.s = summary
+        self.imports = imports
+        self._func_stack: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        self._class_stack: list[str] = []
+
+    # -- helpers --------------------------------------------------------------
+
+    def _enclosing_params(self) -> tuple[list[str], dict[str, str]]:
+        if not self._func_stack:
+            return [], {}
+        return _function_params(self._func_stack[-1])
+
+    def _expr_ir(self, node: ast.expr) -> dict[str, Any]:
+        """Digest a stream-name expression into the serializable IR."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return {"k": "str", "v": node.value}
+        if isinstance(node, ast.JoinedStr):
+            parts = []
+            for piece in node.values:
+                if isinstance(piece, ast.Constant):
+                    parts.append({"k": "str", "v": str(piece.value)})
+                elif isinstance(piece, ast.FormattedValue):
+                    parts.append(self._expr_ir(piece.value))
+                else:  # pragma: no cover - f-strings only hold these two
+                    parts.append({"k": "opaque", "v": "expr"})
+            return {"k": "fstr", "parts": parts}
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            # "prefix" + suffix concatenation: fold into an fstr.
+            return {
+                "k": "fstr",
+                "parts": [self._expr_ir(node.left), self._expr_ir(node.right)],
+            }
+        if isinstance(node, ast.Name):
+            params, defaults = self._enclosing_params()
+            if node.id in params:
+                return {
+                    "k": "param", "v": node.id,
+                    "default": defaults.get(node.id),
+                }
+            resolved = self.imports.resolve(node)
+            return {"k": "name", "v": resolved or node.id}
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and self._class_stack
+            ):
+                return {
+                    "k": "self", "v": node.attr, "cls": self._class_stack[-1],
+                }
+            resolved = self.imports.resolve(node)
+            if resolved is not None:
+                return {"k": "name", "v": resolved}
+            return {"k": "opaque", "v": node.attr}
+        if isinstance(node, ast.Call):
+            fn = self.imports.resolve(node.func)
+            if fn is not None:
+                return {
+                    "k": "call",
+                    "fn": fn,
+                    "args": [self._expr_ir(a) for a in node.args],
+                    "kwargs": {
+                        kw.arg: self._expr_ir(kw.value)
+                        for kw in node.keywords
+                        if kw.arg is not None
+                    },
+                }
+            return {"k": "opaque", "v": "call"}
+        # Loop variables, subscripts, arithmetic... -> one placeholder.
+        hint = "expr"
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                hint = sub.id
+                break
+        return {"k": "opaque", "v": hint}
+
+    # -- module-level declarations --------------------------------------------
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            self._module_stmt(stmt)
+        self.generic_visit(node)
+
+    def _module_stmt(self, stmt: ast.stmt) -> None:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            return
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                self.s.constants[target.id] = value.value
+            elif isinstance(value, (ast.Tuple, ast.List)):
+                self._tuple_decl(target.id, value, stmt)
+
+    def _tuple_decl(
+        self, name: str, value: ast.Tuple | ast.List, stmt: ast.stmt
+    ) -> None:
+        if name == "PICKLE_SEAM_ROOTS":
+            roots = [
+                e.value
+                for e in value.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)
+            ]
+            self.s.seam_roots.extend(roots)
+            return
+        if name != "STREAM_NAMESPACES":
+            return
+        for elt in value.elts:
+            if not isinstance(elt, ast.Call):
+                continue
+            fields: dict[str, str] = {}
+            order = ("pattern", "owner", "description")
+            for pos, arg in enumerate(elt.args[: len(order)]):
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    fields[order[pos]] = arg.value
+            for kw in elt.keywords:
+                if (
+                    kw.arg in order
+                    and isinstance(kw.value, ast.Constant)
+                    and isinstance(kw.value.value, str)
+                ):
+                    fields[kw.arg] = kw.value.value
+            if "pattern" in fields:
+                self.s.namespaces.append(
+                    NamespaceDecl(
+                        pattern=fields["pattern"],
+                        owner=fields.get("owner", ""),
+                        description=fields.get("description", ""),
+                        line=elt.lineno,
+                    )
+                )
+
+    # -- functions ------------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function(node)
+
+    def _function(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._func_stack.append(node)
+        if not self._class_stack and len(self._func_stack) == 1:
+            self._summarize_helper(node)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    def _summarize_helper(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        """Record a top-level function's return IR (stream helpers)."""
+        params, defaults = _function_params(node)
+        returns: dict[str, Any] | None = None
+        for stmt in node.body:
+            if isinstance(stmt, ast.Return) and stmt.value is not None:
+                returns = self._expr_ir(stmt.value)
+                break  # first return is the canonical shape
+        if returns is not None and returns["k"] in ("str", "fstr", "call"):
+            self.s.functions[node.name] = FunctionSummary(
+                params=params, defaults=defaults, returns=returns
+            )
+
+    # -- classes --------------------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        fields: dict[str, FieldSummary] = {}
+        str_defaults: dict[str, str] = {}
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                fields[stmt.target.id] = FieldSummary(
+                    line=stmt.lineno,
+                    ann_names=self._annotation_names(stmt.annotation),
+                    value_call=self._value_call(stmt.value),
+                )
+                if isinstance(stmt.value, ast.Constant) and isinstance(
+                    stmt.value.value, str
+                ):
+                    str_defaults[stmt.target.id] = stmt.value.value
+        for stmt in node.body:
+            if (
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "__init__"
+            ):
+                self._init_fields(stmt, fields, str_defaults)
+        bases = []
+        for base in node.bases:
+            resolved = self.imports.resolve(base)
+            if resolved is not None:
+                bases.append(resolved)
+        self.s.classes[node.name] = ClassSummary(
+            line=node.lineno,
+            fields=fields,
+            bases=bases,
+            str_defaults=str_defaults,
+        )
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _init_fields(
+        self,
+        init: ast.FunctionDef | ast.AsyncFunctionDef,
+        fields: dict[str, FieldSummary],
+        str_defaults: dict[str, str],
+    ) -> None:
+        """Harvest ``self.x = ...`` fields, typing them from the parameter
+        annotation when the value is a plain parameter passthrough."""
+        param_anns: dict[str, list[str]] = {}
+        param_strs: dict[str, str] = {}
+        args = init.args
+        all_args = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        for arg in all_args:
+            if arg.annotation is not None:
+                param_anns[arg.arg] = self._annotation_names(arg.annotation)
+        _, defaults = _function_params(init)
+        param_strs.update(defaults)
+        for stmt in ast.walk(init):
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                targets, value = [stmt.target], stmt.value
+            for target in targets:
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                name = target.attr
+                if name in fields:
+                    continue
+                ann_names: list[str] = []
+                value_call: str | None = None
+                if isinstance(stmt, ast.AnnAssign):
+                    ann_names = self._annotation_names(stmt.annotation)
+                elif isinstance(value, ast.Name) and value.id in param_anns:
+                    ann_names = param_anns[value.id]
+                    if value.id in param_strs:
+                        str_defaults.setdefault(name, param_strs[value.id])
+                value_call = self._value_call(value)
+                fields[name] = FieldSummary(
+                    line=stmt.lineno,
+                    ann_names=ann_names,
+                    value_call=value_call,
+                )
+                if isinstance(value, ast.Constant) and isinstance(
+                    value.value, str
+                ):
+                    str_defaults.setdefault(name, value.value)
+
+    def _value_call(self, value: ast.expr | None) -> str | None:
+        if isinstance(value, ast.Call):
+            return self.imports.resolve(value.func)
+        return None
+
+    def _annotation_names(self, annotation: ast.expr | None) -> list[str]:
+        if annotation is None:
+            return []
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                annotation = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return []
+        names: list[str] = []
+        for sub in ast.walk(annotation):
+            if isinstance(sub, (ast.Name, ast.Attribute)):
+                resolved = self.imports.resolve(sub)
+                if resolved is not None and resolved not in names:
+                    names.append(resolved)
+        return names
+
+    # -- stream call sites ----------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        method = self._stream_method(node)
+        if method is not None and len(node.args) >= 1:
+            site = StreamCallSite(
+                line=node.lineno,
+                col=node.col_offset,
+                method=method,
+                arg=self._expr_ir(node.args[0]),
+            )
+            self.s.call_sites.append(site)
+        self.generic_visit(node)
+
+    def _stream_method(self, node: ast.Call) -> str | None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr == "rng":
+            return "rng"
+        if func.attr not in _REGISTRY_METHODS:
+            return None
+        receiver = func.value
+        tail = None
+        if isinstance(receiver, ast.Name):
+            tail = receiver.id
+        elif isinstance(receiver, ast.Attribute):
+            tail = receiver.attr
+        if tail in _REGISTRY_RECEIVERS:
+            return func.attr
+        if isinstance(receiver, ast.Name) and self._param_is_registry(
+            receiver.id
+        ):
+            return func.attr
+        return None
+
+    def _param_is_registry(self, name: str) -> bool:
+        for func in reversed(self._func_stack):
+            args = func.args
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                if arg.arg != name or arg.annotation is None:
+                    continue
+                resolved = self.imports.resolve(arg.annotation)
+                return resolved is not None and resolved.endswith(
+                    "RngRegistry"
+                )
+        return False
+
+
+def _function_params(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> tuple[list[str], dict[str, str]]:
+    """Parameter names and their string-literal defaults."""
+    args = node.args
+    ordered = [*args.posonlyargs, *args.args]
+    params = [a.arg for a in ordered] + [a.arg for a in args.kwonlyargs]
+    defaults: dict[str, str] = {}
+    tail = ordered[len(ordered) - len(args.defaults):] if args.defaults else []
+    for arg, default in zip(tail, args.defaults):
+        if isinstance(default, ast.Constant) and isinstance(default.value, str):
+            defaults[arg.arg] = default.value
+    for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        if isinstance(kw_default, ast.Constant) and isinstance(
+            kw_default.value, str
+        ):
+            defaults[arg.arg] = kw_default.value
+    return params, defaults
+
+
+def summarize_source(path: str, source: str) -> ModuleSummary:
+    """Digest one file into its :class:`ModuleSummary`.
+
+    Unparseable files yield an empty summary -- the per-file analyzer
+    already reports them as REPRO000.
+    """
+    summary = ModuleSummary(
+        path=path, module=module_name_for(path), scope=classify_scope(path)
+    )
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return summary
+    imports = ImportTable(tree)
+    summary.imports = imports.as_dict()
+    builder = _SummaryBuilder(summary, imports)
+    builder.visit(tree)
+    per_line, file_wide = _parse_suppressions(source)
+    summary.suppress_lines = {k: sorted(v) for k, v in per_line.items()}
+    summary.suppress_file = sorted(file_wide)
+    lines = source.splitlines()
+    wanted: set[int] = set()
+    for site in summary.call_sites:
+        wanted.add(site.line)
+    for decl in summary.namespaces:
+        wanted.add(decl.line)
+    for cls in summary.classes.values():
+        wanted.add(cls.line)
+        for f in cls.fields.values():
+            wanted.add(f.line)
+    summary.line_texts = {
+        n: lines[n - 1] for n in sorted(wanted) if 1 <= n <= len(lines)
+    }
+    return summary
+
+
+@dataclass
+class ProgramGraph:
+    """All module summaries, indexed by dotted module name."""
+
+    modules: dict[str, ModuleSummary] = field(default_factory=dict)
+
+    def add(self, summary: ModuleSummary) -> None:
+        self.modules[summary.module] = summary
+
+    def module(self, name: str) -> ModuleSummary | None:
+        return self.modules.get(name)
+
+    def resolve_constant(
+        self, dotted: str, home: ModuleSummary, _depth: int = 0
+    ) -> str | None:
+        """Find the string value of a (possibly re-exported) constant."""
+        if _depth > 8:
+            return None
+        if "." not in dotted:
+            if dotted in home.constants:
+                return home.constants[dotted]
+            origin = home.imports.get(dotted)
+            if origin is not None and origin != dotted:
+                return self.resolve_constant(origin, home, _depth + 1)
+            return None
+        mod_name, _, attr = dotted.rpartition(".")
+        target = self.module(mod_name)
+        if target is None:
+            return None
+        if attr in target.constants:
+            return target.constants[attr]
+        origin = target.imports.get(attr)
+        if origin is not None and origin != dotted:
+            return self.resolve_constant(origin, target, _depth + 1)
+        return None
+
+    def resolve_function(
+        self, dotted: str, _depth: int = 0
+    ) -> tuple[ModuleSummary, FunctionSummary] | None:
+        """Find a helper's summary, following one-hop re-export chains."""
+        if _depth > 8 or "." not in dotted:
+            return None
+        mod_name, _, attr = dotted.rpartition(".")
+        target = self.module(mod_name)
+        if target is None:
+            return None
+        if attr in target.functions:
+            return target, target.functions[attr]
+        origin = target.imports.get(attr)
+        if origin is not None and origin != dotted:
+            return self.resolve_function(origin, _depth + 1)
+        return None
+
+    def resolve_class(
+        self, dotted: str, home: ModuleSummary | None = None, _depth: int = 0
+    ) -> tuple[ModuleSummary, str, ClassSummary] | None:
+        """Find a class summary from a dotted or home-local name."""
+        if _depth > 8:
+            return None
+        if "." not in dotted:
+            if home is not None and dotted in home.classes:
+                return home, dotted, home.classes[dotted]
+            if home is not None:
+                origin = home.imports.get(dotted)
+                if origin is not None and origin != dotted:
+                    return self.resolve_class(origin, None, _depth + 1)
+            return None
+        mod_name, _, attr = dotted.rpartition(".")
+        target = self.module(mod_name)
+        if target is None:
+            return None
+        if attr in target.classes:
+            return target, attr, target.classes[attr]
+        origin = target.imports.get(attr)
+        if origin is not None and origin != dotted:
+            return self.resolve_class(origin, None, _depth + 1)
+        return None
+
+    def all_namespaces(self) -> list[tuple[ModuleSummary, NamespaceDecl]]:
+        """Every declared namespace, deduplicated, in module order."""
+        seen: set[tuple[str, str]] = set()
+        out: list[tuple[ModuleSummary, NamespaceDecl]] = []
+        for name in sorted(self.modules):
+            summary = self.modules[name]
+            for decl in summary.namespaces:
+                key = (decl.pattern, decl.owner)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append((summary, decl))
+        return out
+
+    def all_seam_roots(self) -> list[tuple[ModuleSummary, str]]:
+        out: list[tuple[ModuleSummary, str]] = []
+        for name in sorted(self.modules):
+            summary = self.modules[name]
+            for root in summary.seam_roots:
+                out.append((summary, root))
+        return out
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class SummaryCache:
+    """Content-hashed summary store keeping CI's ``--program`` pass fast.
+
+    The file maps repo-relative path -> ``{sha, summary}``. A hit requires
+    an exact SHA-256 match of the file bytes, so the cache can never serve
+    stale analysis; a version bump discards the whole file.
+    """
+
+    def __init__(self, path: Path | None) -> None:
+        self.path = path
+        self._entries: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        if path is not None and path.exists():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                data = {}
+            if data.get("version") == CACHE_VERSION:
+                self._entries = data.get("files", {})
+
+    def summarize(self, rel_path: str, source_bytes: bytes) -> ModuleSummary:
+        sha = _sha256(source_bytes)
+        entry = self._entries.get(rel_path)
+        if entry is not None and entry.get("sha") == sha:
+            try:
+                summary = ModuleSummary.from_json(entry["summary"])
+            except (KeyError, TypeError, ValueError):
+                summary = None  # type: ignore[assignment]
+            if summary is not None:
+                self.hits += 1
+                return summary
+        self.misses += 1
+        summary = summarize_source(
+            rel_path, source_bytes.decode("utf-8", errors="replace")
+        )
+        self._entries[rel_path] = {"sha": sha, "summary": summary.to_json()}
+        return summary
+
+    def save(self, live_paths: Iterable[str]) -> None:
+        """Write the cache, dropping entries for files no longer scanned."""
+        if self.path is None:
+            return
+        live = set(live_paths)
+        files = {k: v for k, v in self._entries.items() if k in live}
+        payload = {"version": CACHE_VERSION, "files": files}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+
+
+def build_graph(
+    files: Sequence[tuple[str, bytes]], cache: SummaryCache | None = None
+) -> ProgramGraph:
+    """Summarize ``(rel_path, bytes)`` pairs into a :class:`ProgramGraph`."""
+    graph = ProgramGraph()
+    for rel_path, data in files:
+        if cache is not None:
+            summary = cache.summarize(rel_path, data)
+        else:
+            summary = summarize_source(
+                rel_path, data.decode("utf-8", errors="replace")
+            )
+        graph.add(summary)
+    return graph

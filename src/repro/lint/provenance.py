@@ -1,0 +1,377 @@
+"""RNG stream provenance: resolve every draw site to its namespace.
+
+The determinism contract says a subsystem's randomness is a function of
+``(master seed, stream name)``. That only holds if stream names are
+globally coordinated: two subsystems sharing a name draw *correlated*
+randomness, and a stream drawn outside its owning package couples
+modules the architecture says are independent. This pass checks the
+contract statically:
+
+* Every ``engine.rng(...)`` / ``RngRegistry.get(...)`` call site is
+  resolved to a **name template** -- string literals, registry constants
+  and helper calls (``cell_stream(prefix, c, "gain")``) are folded;
+  anything dynamic becomes a ``<placeholder>`` wildcard.
+* Templates are matched against the union of every ``STREAM_NAMESPACES``
+  table in the scanned tree (:mod:`repro.simkernel.streams` in the real
+  repo; lint fixtures declare their own).
+
+Rules emitted (program scope -- they need the whole graph):
+
+========== ==============================================================
+REPRO501   two declared namespaces overlap (collision by construction)
+REPRO502   library code draws a stream owned by a different package
+REPRO503   a declared namespace no call site ever draws (dead registry)
+REPRO504   a library draw site matching no declared namespace
+========== ==============================================================
+
+Resolution is deliberately *optimistic* about parameters: a parameter or
+dataclass field with a string default resolves to that default, so the
+pass sees the canonical layout; callers overriding prefixes (tests build
+scratch namespaces) are out of contract by design and exempt via scope.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterator
+
+from repro.lint.graph import ModuleSummary, NamespaceDecl, ProgramGraph
+from repro.lint.violations import Violation
+
+#: ``<placeholder>`` segments in patterns and resolved templates.
+_PLACEHOLDER_RE = re.compile(r"<[^<>]+>")
+
+#: Probe byte: stands in for "some dot-free text" when a template with
+#: placeholders is matched against a pattern's regex.
+_PROBE = "\x01"
+
+
+def pattern_regex(pattern: str) -> "re.Pattern[str]":
+    """Compile a namespace pattern: placeholders match one dot-free run."""
+    out: list[str] = []
+    pos = 0
+    for match in _PLACEHOLDER_RE.finditer(pattern):
+        out.append(re.escape(pattern[pos:match.start()]))
+        out.append(r"[^.]+")
+        pos = match.end()
+    out.append(re.escape(pattern[pos:]))
+    return re.compile("".join(out))
+
+
+def _probe(template: str) -> str:
+    return _PLACEHOLDER_RE.sub(_PROBE, template)
+
+
+def template_matches(template: str, pattern: str) -> bool:
+    """Approximate intersection test between two placeholder strings.
+
+    True when the languages could overlap: the pattern's regex accepts
+    the template with placeholders collapsed to a probe byte, or vice
+    versa. Exact for the placeholder grammar used here (one dot-free run
+    per placeholder).
+    """
+    if pattern_regex(pattern).fullmatch(_probe(template)):
+        return True
+    return bool(pattern_regex(template).fullmatch(_probe(pattern)))
+
+
+def resolve_template(
+    ir: dict[str, Any],
+    mod: ModuleSummary,
+    graph: ProgramGraph,
+    subst: dict[str, str] | None = None,
+    depth: int = 0,
+) -> str | None:
+    """Fold a call-site IR into a name template with ``<x>`` wildcards.
+
+    Returns None when nothing meaningful can be said (e.g. the registry's
+    own pass-through ``self.rngs.get(name)`` resolves to a bare
+    placeholder).
+    """
+    if depth > 12:
+        return None
+    kind = ir.get("k")
+    if kind == "str":
+        return str(ir["v"])
+    if kind == "fstr":
+        parts = []
+        for part in ir["parts"]:
+            resolved = resolve_template(part, mod, graph, subst, depth + 1)
+            parts.append(resolved if resolved is not None else "<expr>")
+        return "".join(parts)
+    if kind == "name":
+        value = graph.resolve_constant(ir["v"], mod)
+        if value is not None:
+            return value
+        tail = str(ir["v"]).rsplit(".", 1)[-1]
+        return f"<{tail}>"
+    if kind == "param":
+        name = ir["v"]
+        if subst is not None and name in subst:
+            return subst[name]
+        if ir.get("default") is not None:
+            return str(ir["default"])
+        return f"<{name}>"
+    if kind == "self":
+        cls = mod.classes.get(ir.get("cls", ""))
+        if cls is not None and ir["v"] in cls.str_defaults:
+            return cls.str_defaults[ir["v"]]
+        return f"<{ir['v']}>"
+    if kind == "call":
+        return _resolve_call(ir, mod, graph, subst, depth)
+    if kind == "opaque":
+        return f"<{ir.get('v', 'expr')}>"
+    return None
+
+
+def _resolve_call(
+    ir: dict[str, Any],
+    mod: ModuleSummary,
+    graph: ProgramGraph,
+    subst: dict[str, str] | None,
+    depth: int,
+) -> str | None:
+    fn = ir["fn"]
+    if "." not in fn:
+        # A bare local/imported name: qualify through the module's own
+        # import table (locals qualify as <module>.<fn>).
+        fn = mod.imports.get(fn, f"{mod.module}.{fn}")
+    located = graph.resolve_function(fn)
+    if located is None:
+        return None
+    callee_mod, func = located
+    bound: dict[str, str] = {}
+    for pos, arg_ir in enumerate(ir.get("args", [])):
+        if pos >= len(func.params):
+            break
+        resolved = resolve_template(arg_ir, mod, graph, subst, depth + 1)
+        bound[func.params[pos]] = (
+            resolved if resolved is not None else f"<{func.params[pos]}>"
+        )
+    for name, arg_ir in ir.get("kwargs", {}).items():
+        resolved = resolve_template(arg_ir, mod, graph, subst, depth + 1)
+        bound[name] = resolved if resolved is not None else f"<{name}>"
+    for param in func.params:
+        if param not in bound:
+            default = func.defaults.get(param)
+            bound[param] = default if default is not None else f"<{param}>"
+    if func.returns is None:
+        return None
+    return resolve_template(func.returns, callee_mod, graph, bound, depth + 1)
+
+
+def informative(template: str) -> bool:
+    """A template worth matching: some literal alphanumeric content."""
+    literal = _PLACEHOLDER_RE.sub("", template)
+    return any(ch.isalnum() for ch in literal)
+
+
+def owner_contains(owner: str, module: str) -> bool:
+    return module == owner or module.startswith(owner + ".")
+
+
+def _violation(
+    mod: ModuleSummary, line: int, col: int, code: str, message: str
+) -> Violation:
+    return Violation(
+        path=mod.path,
+        line=line,
+        col=col,
+        code=code,
+        message=message,
+        line_text=mod.line_text(line),
+    )
+
+
+class ResolvedSite:
+    """One draw site with its resolved template and namespace matches."""
+
+    __slots__ = ("mod", "line", "col", "method", "template", "matches")
+
+    def __init__(
+        self,
+        mod: ModuleSummary,
+        line: int,
+        col: int,
+        method: str,
+        template: str,
+        matches: list[NamespaceDecl],
+    ) -> None:
+        self.mod = mod
+        self.line = line
+        self.col = col
+        self.method = method
+        self.template = template
+        self.matches = matches
+
+
+def resolve_sites(graph: ProgramGraph) -> list[ResolvedSite]:
+    """Every informative draw site, resolved and namespace-attributed."""
+    namespaces = [decl for _, decl in graph.all_namespaces()]
+    sites: list[ResolvedSite] = []
+    for name in sorted(graph.modules):
+        mod = graph.modules[name]
+        for site in mod.call_sites:
+            template = resolve_template(site.arg, mod, graph)
+            if template is None or not informative(template):
+                continue
+            matches = [
+                decl
+                for decl in namespaces
+                if template_matches(template, decl.pattern)
+            ]
+            sites.append(
+                ResolvedSite(
+                    mod, site.line, site.col, site.method, template, matches
+                )
+            )
+    return sites
+
+
+def check_collisions(graph: ProgramGraph) -> Iterator[Violation]:
+    """REPRO501: declared namespaces whose patterns overlap."""
+    declared = graph.all_namespaces()
+    for i, (mod_a, a) in enumerate(declared):
+        for mod_b, b in declared[i + 1:]:
+            if not template_matches(a.pattern, b.pattern):
+                continue
+            yield _violation(
+                mod_b,
+                b.line,
+                0,
+                "REPRO501",
+                f"stream namespace `{b.pattern}` (owner {b.owner}) overlaps "
+                f"`{a.pattern}` (owner {a.owner}, {mod_a.path}:{a.line}); "
+                "overlapping namespaces draw correlated randomness -- "
+                "disambiguate the patterns",
+            )
+
+
+def check_foreign_draws(sites: list[ResolvedSite]) -> Iterator[Violation]:
+    """REPRO502: src code drawing a stream owned by another package."""
+    for site in sites:
+        if site.mod.scope != "src" or not site.matches:
+            continue
+        owned = [d for d in site.matches if d.owner]
+        if not owned:
+            continue
+        if any(owner_contains(d.owner, site.mod.module) for d in owned):
+            continue
+        owners = ", ".join(sorted({d.owner for d in owned}))
+        yield _violation(
+            site.mod,
+            site.line,
+            site.col,
+            "REPRO502",
+            f"stream `{site.template}` is owned by {owners} but drawn from "
+            f"`{site.mod.module}`; draw it through a helper in the owning "
+            "package so the subsystem keeps sole custody of its stream",
+        )
+
+
+def check_dead_namespaces(
+    graph: ProgramGraph, sites: list[ResolvedSite]
+) -> Iterator[Violation]:
+    """REPRO503: declared namespaces nothing draws."""
+    used: set[tuple[str, str]] = set()
+    for site in sites:
+        for decl in site.matches:
+            used.add((decl.pattern, decl.owner))
+    for mod, decl in graph.all_namespaces():
+        if (decl.pattern, decl.owner) in used:
+            continue
+        yield _violation(
+            mod,
+            decl.line,
+            0,
+            "REPRO503",
+            f"stream namespace `{decl.pattern}` has no matching draw site "
+            "anywhere in the scanned tree; delete the declaration or wire "
+            "up the consumer",
+        )
+
+
+def check_unregistered(sites: list[ResolvedSite]) -> Iterator[Violation]:
+    """REPRO504: src draw sites outside every declared namespace."""
+    for site in sites:
+        if site.mod.scope != "src" or site.matches:
+            continue
+        yield _violation(
+            site.mod,
+            site.line,
+            site.col,
+            "REPRO504",
+            f"stream `{site.template}` matches no declared namespace; "
+            "declare it in `repro.simkernel.streams.STREAM_NAMESPACES` "
+            "(and build the name via a registry constant/helper)",
+        )
+
+
+# -- registry page rendering --------------------------------------------------
+
+REGISTRY_HEADER = """\
+# RNG stream registry
+
+<!-- GENERATED FILE -- do not edit by hand.
+     Regenerate: python -m repro.lint --program src tests benchmarks \\
+         --emit-stream-registry docs/rng-streams.md
+     CI checks this page against the code (--check-stream-registry). -->
+
+Every named RNG stream the fabric draws, generated from
+`repro.simkernel.streams.STREAM_NAMESPACES` and the whole-program
+provenance pass (`python -m repro.lint --program`). A stream's draws are
+a function of `(master seed, stream name)` alone; the owner column names
+the only package whose library code may draw it (REPRO502).
+"""
+
+
+def render_stream_registry(
+    graph: ProgramGraph, sites: list[ResolvedSite] | None = None
+) -> str:
+    """The committed ``docs/rng-streams.md`` page, deterministically."""
+    if sites is None:
+        sites = resolve_sites(graph)
+    lines: list[str] = [REGISTRY_HEADER]
+    lines.append("| Namespace | Owner | Description |")
+    lines.append("| --- | --- | --- |")
+    declared = sorted(
+        graph.all_namespaces(), key=lambda pair: pair[1].pattern
+    )
+    for _, decl in declared:
+        pattern = decl.pattern.replace("|", "\\|")
+        lines.append(
+            f"| `{pattern}` | `{decl.owner}` | {decl.description} |"
+        )
+    lines.append("")
+    lines.append("## Draw sites")
+    lines.append("")
+    lines.append(
+        "Library (`src`) call sites per namespace, as resolved by the"
+    )
+    lines.append(
+        "provenance pass (templates show `<placeholder>` wildcards for"
+    )
+    lines.append("runtime-varying segments):")
+    lines.append("")
+    for _, decl in declared:
+        drawers: dict[str, set[str]] = {}
+        for site in sites:
+            if site.mod.scope != "src":
+                continue
+            if any(
+                d.pattern == decl.pattern and d.owner == decl.owner
+                for d in site.matches
+            ):
+                drawers.setdefault(site.mod.path, set()).add(site.template)
+        lines.append(f"### `{decl.pattern}`")
+        lines.append("")
+        if not drawers:
+            lines.append("- (no library draw sites)")
+        else:
+            for path in sorted(drawers):
+                templates = ", ".join(
+                    f"`{t}`" for t in sorted(drawers[path])
+                )
+                lines.append(f"- `{path}` — {templates}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

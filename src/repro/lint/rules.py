@@ -13,6 +13,9 @@ Codes group by family:
 * ``REPRO3xx`` -- numeric discipline (float comparisons)
 * ``REPRO4xx`` -- general simulation safety (mutable defaults, bare except,
   blocking I/O in engine callbacks)
+* ``REPRO5xx`` -- whole-program determinism. REPRO521 (wall-clock taint)
+  lives here as a per-file dataflow rule; REPRO501-511 need the module
+  graph and live in :mod:`repro.lint.program`.
 """
 
 from __future__ import annotations
@@ -570,6 +573,163 @@ class ProcessParallelismRule(Rule):
         return None
 
 
+#: Methods that consume *simulated* durations/instants on the engine or
+#: its events: feeding a wall-clock-derived value into any of these
+#: couples the virtual timeline to the host machine.
+SIM_SCHEDULE_METHODS = frozenset(
+    {"schedule_at", "timeout", "drain_window", "schedule"}
+)
+
+
+class WallClockTaintRule(Rule):
+    """REPRO521: wall-clock values must not reach sim-time arithmetic."""
+
+    code = "REPRO521"
+    name = "wall-clock-taint"
+    rationale = (
+        "A wall-clock reading that flows into `engine.timeout(...)`/"
+        "`schedule_at(...)` or is mixed with `engine.now` couples the "
+        "virtual timeline to the host machine -- the run is no longer a "
+        "function of (scenario, seed). Unlike REPRO101 (which bans the "
+        "*read* in library code), this intraprocedural dataflow check "
+        "follows the value, so it also guards the dual-clock seams and "
+        "the test/benchmark harnesses where wall-clock reads are legal "
+        "but must stay on the wall side of the ledger."
+    )
+    scopes = frozenset({"src", "tests", "benchmarks", "examples"})
+    allow_suffixes = (
+        "repro/obs/trace.py",  # dual-clock spans keep the two ledgers apart
+        "repro/cfd/solver.py",  # wall-time perf probe (separate channel)
+        "repro/parallel/worker.py",  # shard compute-wall side channel
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: FileContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Violation]:
+        tainted: set[str] = set()
+        reported: set[tuple[int, int]] = set()
+
+        def is_wall_call(node: ast.AST) -> bool:
+            return (
+                isinstance(node, ast.Call)
+                and ctx.imports.resolve(node.func) in WALL_CLOCK_CALLS
+            )
+
+        def expr_tainted(expr: ast.expr) -> bool:
+            for sub in ast.walk(expr):
+                if isinstance(sub, ast.Name) and sub.id in tainted:
+                    return True
+                if is_wall_call(sub):
+                    return True
+            return False
+
+        def now_reads(expr: ast.expr) -> bool:
+            """Does ``expr`` read the sim clock (a bare ``.now`` access)?"""
+            call_funcs = {
+                id(sub.func) for sub in ast.walk(expr)
+                if isinstance(sub, ast.Call)
+            }
+            return any(
+                isinstance(sub, ast.Attribute)
+                and sub.attr == "now"
+                and id(sub) not in call_funcs
+                for sub in ast.walk(expr)
+            )
+
+        def emit(node: ast.AST, message: str) -> Iterator[Violation]:
+            key = (getattr(node, "lineno", 1), getattr(node, "col_offset", 0))
+            if key not in reported:
+                reported.add(key)
+                yield self.violation(ctx, node, message)
+
+        def scan_expr(expr: ast.expr) -> Iterator[Violation]:
+            for sub in ast.walk(expr):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in SIM_SCHEDULE_METHODS
+                ):
+                    args = [*sub.args, *(kw.value for kw in sub.keywords)]
+                    if any(expr_tainted(a) for a in args):
+                        yield from emit(
+                            sub,
+                            "wall-clock-derived value flows into "
+                            f"`.{sub.func.attr}(...)`: simulated time would "
+                            "depend on the host machine; keep wall readings "
+                            "on the wall side of the dual-clock ledger",
+                        )
+                elif isinstance(sub, (ast.BinOp, ast.Compare)):
+                    if isinstance(sub, ast.BinOp):
+                        sides = [sub.left, sub.right]
+                    else:
+                        sides = [sub.left, *sub.comparators]
+                    if any(expr_tainted(s) for s in sides) and any(
+                        now_reads(s) for s in sides
+                    ):
+                        yield from emit(
+                            sub,
+                            "wall-clock-derived value mixed with the sim "
+                            "clock (`.now`) in one expression; the two "
+                            "timelines must never meet in arithmetic",
+                        )
+
+        def handle(stmts: Sequence[ast.stmt]) -> Iterator[Violation]:
+            for stmt in stmts:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    continue  # nested defs get their own fresh walk
+                for expr in ast.iter_child_nodes(stmt):
+                    if isinstance(expr, ast.expr):
+                        yield from scan_expr(expr)
+                if isinstance(stmt, ast.Assign):
+                    if expr_tainted(stmt.value):
+                        for target in stmt.targets:
+                            for sub in ast.walk(target):
+                                if isinstance(sub, ast.Name):
+                                    tainted.add(sub.id)
+                    else:
+                        for target in stmt.targets:
+                            if isinstance(target, ast.Name):
+                                tainted.discard(target.id)
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    if isinstance(stmt.target, ast.Name):
+                        if expr_tainted(stmt.value):
+                            tainted.add(stmt.target.id)
+                        else:
+                            tainted.discard(stmt.target.id)
+                elif isinstance(stmt, ast.AugAssign):
+                    if expr_tainted(stmt.value) and isinstance(
+                        stmt.target, ast.Name
+                    ):
+                        tainted.add(stmt.target.id)
+                # Recurse into compound statements; loop bodies run twice
+                # so loop-carried taint propagates to the first pass's
+                # expressions on the second.
+                if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                    yield from handle(stmt.body)
+                    yield from handle(stmt.body)
+                    yield from handle(stmt.orelse)
+                elif isinstance(stmt, ast.If):
+                    yield from handle(stmt.body)
+                    yield from handle(stmt.orelse)
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    yield from handle(stmt.body)
+                elif isinstance(stmt, ast.Try):
+                    yield from handle(stmt.body)
+                    for handler in stmt.handlers:
+                        yield from handle(handler.body)
+                    yield from handle(stmt.orelse)
+                    yield from handle(stmt.finalbody)
+
+        yield from handle(func.body)
+
+
 def _is_none(node: ast.expr) -> bool:
     return isinstance(node, ast.Constant) and node.value is None
 
@@ -587,6 +747,7 @@ ALL_RULES: tuple[Rule, ...] = (
     BareExceptRule(),
     BlockingHandlerRule(),
     ProcessParallelismRule(),
+    WallClockTaintRule(),
 )
 
 RULES_BY_CODE: dict[str, Rule] = {rule.code: rule for rule in ALL_RULES}

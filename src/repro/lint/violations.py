@@ -30,9 +30,12 @@ class Violation:
     def fingerprint(self) -> str:
         """Stable identity for baseline matching.
 
-        Hashes (code, path, stripped line text) -- not the line *number* --
-        so inserting unrelated lines above a baselined violation does not
-        invalidate the baseline entry.
+        Hashes (code, file basename, stripped line text) -- not the line
+        *number*, so inserting unrelated lines above a baselined violation
+        does not invalidate the entry, and not the *directory*, so moving
+        a file (a refactor that changes no line of code) keeps its
+        baselined entries matching.
         """
-        payload = f"{self.code}|{self.path}|{self.line_text.strip()}"
+        basename = self.path.replace("\\", "/").rsplit("/", 1)[-1]
+        payload = f"{self.code}|{basename}|{self.line_text.strip()}"
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]

@@ -23,24 +23,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Protocol, Sequence, TypeVar
 
+# The canonical per-shard stream-name helper lives in the stream
+# registry (the constants module every subsystem's names migrate onto);
+# re-exported here because the plan is where shard ids are minted.
+from repro.simkernel.streams import shard_stream
+
+__all__ = [
+    "CSPOT_TRANSFER_FLOOR_S",
+    "CellFault",
+    "LinkFault",
+    "ShardPlan",
+    "shard_stream",
+]
+
 #: Conservative default for the minimum cross-shard interaction delay:
 #: the paper's measured ~200 ms sensor->HPC CSPOT transfer floor
 #: (section 4.4); no cross-shard effect can propagate faster.
 CSPOT_TRANSFER_FLOOR_S = 0.2
-
-
-def shard_stream(cell_index: int, purpose: str) -> str:
-    """Canonical per-shard RNG stream name: ``shard.cell<ccc>.<purpose>``.
-
-    Keyed by the *cell* index -- the stable shard id -- never by the
-    worker that happens to run it, so shard count never changes any
-    stream's draws.
-    """
-    if cell_index < 0:
-        raise ValueError(f"negative cell index: {cell_index}")
-    if not purpose:
-        raise ValueError("empty stream purpose")
-    return f"shard.cell{cell_index:03d}.{purpose}"
 
 
 @dataclass(frozen=True)

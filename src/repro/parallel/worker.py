@@ -52,6 +52,17 @@ from repro.parallel.shard import ShardRunner, ShardTask
 AnyRunner = Union[ShardRunner, FabricShardRunner]
 AnyTask = Union[ShardTask, FabricShardTask]
 
+#: The classes that cross the coordinator->worker pickling seam. The
+#: whole-program lint pass (REPRO511) walks every dataclass field
+#: reachable from these roots and rejects ambient state (engines,
+#: tracers, live generators, open handles): anything pickled here must
+#: be pure data, or worker results silently stop being a function of
+#: (task, seed).
+PICKLE_SEAM_ROOTS = (
+    "repro.parallel.shard.ShardTask",
+    "repro.parallel.fabric_shard.FabricShardTask",
+)
+
 
 def build_runner(task: AnyTask) -> AnyRunner:
     """Instantiate the runner class a task calls for (both executors)."""

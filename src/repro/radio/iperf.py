@@ -45,7 +45,7 @@ class IperfResult:
     def total_bytes(self) -> int:
         return int(np.sum(self.samples_bps) / 8.0)
 
-    def to_json_dict(self) -> dict:
+    def to_json_dict(self) -> dict[str, object]:
         """Shape-compatible subset of iperf3's ``--json`` output."""
         return {
             "start": {"test_start": {"duration": self.duration_s}},

@@ -44,6 +44,7 @@ from repro.radio.state import (
 )
 from repro.radio.ue import UserEquipment
 from repro.simkernel.rng import RngRegistry
+from repro.simkernel.streams import cell_stream, population_stream
 
 from repro.radio.gnb import MULTI_UE_OVERHEAD
 
@@ -322,7 +323,8 @@ class UEPopulation:
         return np.maximum(
             np.rint(
                 self.ues_per_cell.sample(
-                    rngs.get(f"{self.stream_prefix}.cells"), self.n_cells
+                    rngs.get(population_stream(self.stream_prefix, "cells")),
+                    self.n_cells,
                 )
             ).astype(np.int64),
             1,
@@ -381,8 +383,8 @@ class UEPopulation:
         template = self._template()
         profile = self._device_profile(carrier, template)
         counts = self.cell_counts(rngs)
-        chan_rng = rngs.get(f"{self.stream_prefix}.channel")
-        gain_rng = rngs.get(f"{self.stream_prefix}.gain")
+        chan_rng = rngs.get(population_stream(self.stream_prefix, "channel"))
+        gain_rng = rngs.get(population_stream(self.stream_prefix, "gain"))
         cells = []
         for c, n in enumerate(counts):
             n = int(n)
@@ -432,8 +434,8 @@ class UEPopulation:
                     f"cell index {c} out of [0, {self.n_cells})"
                 )
             n = int(counts[c])
-            chan_rng = rngs.get(f"{stream_prefix}.cell{c:03d}.channel")
-            gain_rng = rngs.get(f"{stream_prefix}.cell{c:03d}.gain")
+            chan_rng = rngs.get(cell_stream(stream_prefix, c, "channel"))
+            gain_rng = rngs.get(cell_stream(stream_prefix, c, "gain"))
             mean_cqi = np.clip(self.mean_cqi.sample(chan_rng, n), 1.0, 15.0)
             gain = np.maximum(self.gain_spread.sample(gain_rng, n), 1e-3)
             cells.append(self._cell_from_arrays(

@@ -15,6 +15,7 @@ a guaranteed floor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterator
 
 _EPS = 1e-9
 
@@ -52,7 +53,7 @@ class SliceConfig:
             raise ValueError(f"slice shares sum to {total:.4f} > 1")
         self.slices = list(slices)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[NetworkSlice]:
         return iter(self.slices)
 
     def __len__(self) -> int:

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Generator
 
 from repro.simkernel import Engine, Process
+from repro.simkernel.streams import SENSORS_ROBOT
 
 
 @dataclass(frozen=True)
@@ -75,7 +76,7 @@ class FarmNgRobot:
         self.position_m = 0.0  # arc-length position on the loop
         self.busy = False
         self.missions: list[SurveilReport] = []
-        self._rng = engine.rng("sensors.robot")
+        self._rng = engine.rng(SENSORS_ROBOT)
 
     def panel_center_m(self, panel_index: int) -> float:
         """Arc-length midpoint of a panel's perimeter segment."""

@@ -11,12 +11,16 @@ usually statistically indistinguishable (the paper's stated property).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.sensors.breach import BreachSchedule
 from repro.sensors.weather import SyntheticWeather, WeatherState
+from repro.simkernel.streams import SENSORS_INSTRUMENTS
+
+if TYPE_CHECKING:
+    from repro.simkernel.engine import Engine
 
 #: The paper's reporting interval.
 REPORT_INTERVAL_S = 300.0
@@ -140,6 +144,17 @@ class WeatherStation:
             ),
             interior=self.interior,
         )
+
+
+def instrument_rng(engine: Engine) -> np.random.Generator:
+    """The shared instrument-noise stream, drawn by its owning package.
+
+    Every station reading perturbs the same ``sensors.instruments``
+    stream (readings are serialized by the telemetry loop, so the draw
+    order is deterministic); callers outside ``repro.sensors`` use this
+    accessor instead of naming the stream themselves.
+    """
+    return engine.rng(SENSORS_INSTRUMENTS)
 
 
 def station_grid(

@@ -11,9 +11,14 @@ stationary enough that consecutive 5-minute readings differ only by noise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
+
+from repro.simkernel.streams import SENSORS_WEATHER
+
+if TYPE_CHECKING:
+    from repro.simkernel.engine import Engine
 
 SECONDS_PER_DAY = 86_400.0
 
@@ -85,6 +90,16 @@ class SyntheticWeather:
         self._gust = 0.0
         self._direction_wander = 0.0
         self._last_tick = -1
+
+    @classmethod
+    def from_engine(cls, engine: Engine, **kwargs: Any) -> "SyntheticWeather":
+        """Build the truth process on its canonical engine stream.
+
+        The ``sensors.weather`` stream is owned by this package; callers
+        composing a fabric use this constructor instead of drawing the
+        stream themselves (REPRO502 flags foreign draws).
+        """
+        return cls(engine.rng(SENSORS_WEATHER), **kwargs)
 
     # -- internals -----------------------------------------------------------
 

@@ -30,7 +30,17 @@ class RngRegistry:
         self._streams: dict[str, np.random.Generator] = {}
 
     def get(self, name: str) -> np.random.Generator:
-        """Return the generator for ``name``, creating it on first use."""
+        """Return the generator for ``name``, creating it on first use.
+
+        ``name`` must be a non-blank string: a blank stream name would
+        silently alias every anonymous consumer onto one stream, which is
+        exactly the cross-subsystem coupling named streams exist to
+        prevent.
+        """
+        if not isinstance(name, str) or not name.strip():
+            raise ValueError(
+                f"RNG stream name must be a non-blank string, got {name!r}"
+            )
         gen = self._streams.get(name)
         if gen is None:
             gen = np.random.default_rng(derive_seed(self.master_seed, name))

@@ -65,8 +65,8 @@ class TestEnvelope:
 
 class TestCrossShardLink:
     def test_latency_is_four_legs_plus_append_cost(self):
-        link = CrossShardLink(
-            path=NetworkPath("flat", one_way_ms=25.0, jitter_ms=0.0),
+        link = CrossShardLink.from_path(
+            NetworkPath("flat", one_way_ms=25.0, jitter_ms=0.0),
             append_cost_s=0.05,
         )
         rng = np.random.default_rng(0)

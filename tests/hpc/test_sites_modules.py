@@ -169,3 +169,20 @@ class TestQueueLoad:
             QueueLoadGenerator(site, arrival_rate_per_hour=-1.0)
         with pytest.raises(ValueError):
             QueueLoadGenerator(site, arrival_rate_per_hour=1.0, mean_job_nodes=0.5)
+
+    def test_per_site_streams_are_independent(self):
+        # Regression: every generator once drew from one shared
+        # "hpc.background-load" stream, so standing up a second site's
+        # load shifted the first site's arrival sequence. Streams are
+        # keyed by site name now (hpc.background-load.<site>).
+        def first_site_draws(with_second_site):
+            engine = Engine(seed=7)
+            gen_a = QueueLoadGenerator(nd_crc(engine), arrival_rate_per_hour=2.0)
+            if with_second_site:
+                gen_b = QueueLoadGenerator(
+                    anvil(engine), arrival_rate_per_hour=2.0
+                )
+                gen_b._rng.random(100)  # draw heavily before site A does
+            return gen_a._rng.random(5).tolist()
+
+        assert first_site_draws(False) == first_site_draws(True)

@@ -1,0 +1,7 @@
+"""Fixture: two namespace patterns overlap -- `alpha.beta` matches both."""
+from repro.simkernel.streams import StreamNamespace
+
+STREAM_NAMESPACES = (
+    StreamNamespace("alpha.<x>", "demo.alpha", "all alpha substreams"),
+    StreamNamespace("alpha.beta", "demo.beta", "collides with alpha.<x>"),
+)

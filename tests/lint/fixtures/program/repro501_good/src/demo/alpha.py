@@ -1,0 +1,5 @@
+"""Owner of `alpha.<x>` drawing its own substream."""
+
+
+def sample(engine, kind):
+    return engine.rng(f"alpha.{kind}").normal()

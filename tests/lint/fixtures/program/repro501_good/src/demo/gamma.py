@@ -1,0 +1,5 @@
+"""Owner of `gamma.beta` drawing it."""
+
+
+def sample(engine):
+    return engine.rng("gamma.beta").normal()

@@ -1,0 +1,7 @@
+"""Fixture: namespace patterns are mutually exclusive."""
+from repro.simkernel.streams import StreamNamespace
+
+STREAM_NAMESPACES = (
+    StreamNamespace("alpha.<x>", "demo.alpha", "alpha substreams"),
+    StreamNamespace("gamma.beta", "demo.gamma", "one gamma stream"),
+)

@@ -1,0 +1,5 @@
+"""Fixture: library code in demo.beta draws demo.alpha's stream."""
+
+
+def poach(engine):
+    return engine.rng("alpha.stream").normal()

@@ -1,0 +1,6 @@
+"""Fixture: `alpha.stream` is owned by demo.alpha."""
+from repro.simkernel.streams import StreamNamespace
+
+STREAM_NAMESPACES = (
+    StreamNamespace("alpha.stream", "demo.alpha", "alpha's private stream"),
+)

@@ -1,0 +1,5 @@
+"""Fixture: the owning package draws its own stream."""
+
+
+def sample(engine):
+    return engine.rng("alpha.stream").normal()

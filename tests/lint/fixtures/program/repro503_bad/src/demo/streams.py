@@ -1,0 +1,6 @@
+"""Fixture: a declared namespace no call site ever draws."""
+from repro.simkernel.streams import StreamNamespace
+
+STREAM_NAMESPACES = (
+    StreamNamespace("orphan.stream", "demo.orphan", "nobody draws this"),
+)

@@ -1,0 +1,5 @@
+"""Fixture: draws the otherwise-orphaned stream."""
+
+
+def sample(engine):
+    return engine.rng("orphan.stream").normal()

@@ -1,0 +1,6 @@
+"""Fixture: the declared namespace has a live draw site."""
+from repro.simkernel.streams import StreamNamespace
+
+STREAM_NAMESPACES = (
+    StreamNamespace("orphan.stream", "demo.orphan", "drawn by demo.orphan"),
+)

@@ -1,0 +1,5 @@
+"""Fixture: library draw site matching no declared namespace."""
+
+
+def sample(engine):
+    return engine.rng("rogue.stream").normal()

@@ -1,0 +1,6 @@
+"""Fixture: the draw site's namespace is declared."""
+from repro.simkernel.streams import StreamNamespace
+
+STREAM_NAMESPACES = (
+    StreamNamespace("rogue.stream", "demo.rogue", "registered after all"),
+)

@@ -1,0 +1,9 @@
+"""Fixture: config smuggles a live generator across the seam."""
+import numpy as np
+
+
+class CellConfig:
+    ues: int = 4
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng

@@ -1,0 +1,8 @@
+"""Fixture: the pickled task reaches ambient state two hops down."""
+from demo.config import CellConfig
+
+
+class ShardTask:
+    def __init__(self, config: CellConfig, seed: int):
+        self.config = config
+        self.seed = seed

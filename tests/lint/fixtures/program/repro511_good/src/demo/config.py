@@ -1,0 +1,9 @@
+"""Fixture: pure-scalar config -- safe to pickle across the seam."""
+
+
+class CellConfig:
+    ues: int = 4
+
+    def __init__(self, mean_cqi: float, stream_prefix: str = "shard"):
+        self.mean_cqi = mean_cqi
+        self.stream_prefix = stream_prefix

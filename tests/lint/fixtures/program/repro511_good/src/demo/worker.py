@@ -1,0 +1,3 @@
+"""Fixture: declares the pickling seam root."""
+
+PICKLE_SEAM_ROOTS = ("demo.tasks.ShardTask",)

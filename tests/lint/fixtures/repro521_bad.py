@@ -1,0 +1,13 @@
+"""Fixture: wall-clock readings flow into simulated time."""
+import time
+
+
+def schedule_from_wall(engine, handler):
+    started = time.perf_counter()
+    deadline = started + 1.0
+    engine.schedule_at(deadline, handler)
+
+
+def compare_ledgers(engine):
+    wall = time.monotonic()
+    return wall - engine.now > 5.0

@@ -1,0 +1,12 @@
+"""Fixture: wall readings stay on the wall side of the dual-clock ledger."""
+import time
+
+
+def probe_compute_wall(engine, handler, metrics):
+    # A legal wall-clock probe: the reading feeds a metric, never the
+    # virtual timeline (the REPRO101 read itself is suppressed).
+    started = time.perf_counter()  # repro-lint: disable=REPRO101
+    engine.schedule_at(engine.now + 1.0, handler)
+    elapsed = time.perf_counter() - started  # repro-lint: disable=REPRO101
+    metrics.observe("compute_wall_s", elapsed)
+    return elapsed

@@ -86,6 +86,30 @@ class TestFingerprints:
         b = self._violation(text="      return time.time()  ").fingerprint()
         assert a == b
 
+    def test_stable_across_directory_moves(self):
+        # A file move that changes no line of code keeps its baselined
+        # entries matching: only the basename participates.
+        moved = Violation(
+            path="src/repro/legacy/x.py",
+            line=9,
+            col=11,
+            code="REPRO101",
+            message="wall clock",
+            line_text="    return time.time()",
+        )
+        assert moved.fingerprint() == self._violation().fingerprint()
+
+    def test_rename_invalidates(self):
+        renamed = Violation(
+            path="src/repro/y.py",
+            line=5,
+            col=11,
+            code="REPRO101",
+            message="wall clock",
+            line_text="    return time.time()",
+        )
+        assert renamed.fingerprint() != self._violation().fingerprint()
+
 
 class TestBaseline:
     def _violations(self):

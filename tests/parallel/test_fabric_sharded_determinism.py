@@ -164,8 +164,8 @@ class TestTransferLedger:
         # window's exports (sent at t=4.0, horizon 6.0) with no delivery
         # barrier inside the run; they are accounted in flight, never
         # silently dropped.
-        slow = CrossShardLink(
-            path=NetworkPath("degraded backhaul", one_way_ms=600.0)
+        slow = CrossShardLink.from_path(
+            NetworkPath("degraded backhaul", one_way_ms=600.0)
         )
         report = _scenario(link=slow).run()
         assert report.n_windows == 3
@@ -177,8 +177,8 @@ class TestTransferLedger:
         )
 
     def test_in_flight_accounting_is_worker_count_invariant(self):
-        slow = CrossShardLink(
-            path=NetworkPath("degraded backhaul", one_way_ms=600.0)
+        slow = CrossShardLink.from_path(
+            NetworkPath("degraded backhaul", one_way_ms=600.0)
         )
         digests = {
             _scenario(workers=w, link=slow).run().digest for w in (1, 2, 8)

@@ -1,0 +1,97 @@
+"""The stream namespace registry and registry-backed name validation."""
+
+import re
+
+import pytest
+
+from repro.simkernel.rng import RngRegistry
+from repro.simkernel.streams import (
+    SHARD_PREFIX,
+    STREAM_NAMESPACES,
+    cell_stream,
+    cspot_fault_stream,
+    hpc_background_load_stream,
+    population_stream,
+    shard_stream,
+)
+
+
+class TestHelpers:
+    def test_cell_stream_zero_pads(self):
+        assert cell_stream("shard", 5, "gain") == "shard.cell005.gain"
+        assert cell_stream("shard", 123, "gain") == "shard.cell123.gain"
+
+    def test_shard_stream_uses_shard_prefix(self):
+        assert shard_stream(7, "radio") == cell_stream(SHARD_PREFIX, 7, "radio")
+
+    def test_cspot_fault_stream_is_directional(self):
+        assert cspot_fault_stream("farm", "hub") != cspot_fault_stream(
+            "hub", "farm"
+        )
+
+    def test_hpc_stream_keyed_by_site(self):
+        assert hpc_background_load_stream("anvil") == (
+            "hpc.background-load.anvil"
+        )
+
+    def test_population_stream(self):
+        assert population_stream("population", "cells") == "population.cells"
+
+    @pytest.mark.parametrize(
+        "call",
+        [
+            lambda: cell_stream("shard", -1, "gain"),
+            lambda: cell_stream("shard", 0, ""),
+            lambda: shard_stream(0, ""),
+            lambda: population_stream("population", ""),
+        ],
+    )
+    def test_invalid_inputs_rejected(self, call):
+        with pytest.raises(ValueError):
+            call()
+
+
+class TestNamespaceTable:
+    def test_patterns_are_unique(self):
+        patterns = [ns.pattern for ns in STREAM_NAMESPACES]
+        assert len(patterns) == len(set(patterns))
+
+    def test_every_namespace_is_documented_and_owned(self):
+        for ns in STREAM_NAMESPACES:
+            assert ns.owner.startswith("repro."), ns.pattern
+            assert ns.description.strip(), ns.pattern
+
+    def test_patterns_are_well_formed(self):
+        # Dotted segments of word characters / dashes, with optional
+        # <placeholder> wildcards; nothing else sneaks in.
+        segment = r"(?:[\w\-]|<[a-z]+>)+"
+        shape = re.compile(rf"{segment}(?:\.{segment})*")
+        for ns in STREAM_NAMESPACES:
+            assert shape.fullmatch(ns.pattern), ns.pattern
+
+    def test_helper_outputs_land_in_declared_namespaces(self):
+        from repro.lint.provenance import template_matches
+
+        produced = [
+            cspot_fault_stream("a", "b"),
+            hpc_background_load_stream("anvil"),
+            population_stream("population", "cells"),
+            shard_stream(3, "radio"),
+            cell_stream("shard", 3, "gain"),
+        ]
+        patterns = [ns.pattern for ns in STREAM_NAMESPACES]
+        for name in produced:
+            assert any(template_matches(name, p) for p in patterns), name
+
+
+class TestRngRegistryNames:
+    @pytest.mark.parametrize("bad", ["", "   ", "\t", None, 3, b"chaos"])
+    def test_blank_or_non_string_names_rejected(self, bad):
+        registry = RngRegistry(master_seed=1)
+        with pytest.raises(ValueError, match="non-blank string"):
+            registry.get(bad)
+
+    def test_valid_name_still_works(self):
+        registry = RngRegistry(master_seed=1)
+        draws = registry.get("chaos").random(3)
+        assert len(draws) == 3
